@@ -1,0 +1,103 @@
+"""Baseline — DeepONet vs FNO on the turbulence one-window task.
+
+Paper Sec. II surveys operator-learning families (FNO, DeepONet, …) and
+selects the FNO.  This benchmark makes the comparison concrete on the
+actual workload: predict the next window of decaying-turbulence velocity
+from the previous one, FNO2d vs DeepONet at a comparable parameter
+budget and identical training protocol.
+
+Claims checked:
+
+* the FNO's spectral inductive bias (translation equivariance, mode
+  truncation) beats the grid-flattening DeepONet on this task — at this
+  data scale the gap is dramatic: the DeepONet *memorises* (train loss
+  well below test) but cannot generalise from tens of pairs over a
+  10⁴-dimensional flattened input, while the FNO generalises easily;
+* the DeepONet is locked to its training resolution while the FNO
+  evaluates on finer grids unchanged.
+"""
+
+import numpy as np
+
+from common import DATA_CONFIG, cached_channel_model, print_table, split_dataset, write_results
+from repro.analysis import per_snapshot_relative_l2
+from repro.core import ChannelFNOConfig, Trainer, TrainingConfig
+from repro.data import FieldNormalizer, make_channel_pairs, stack_fields
+from repro.nn import DeepONet2d
+from repro.tensor import Tensor, no_grad
+
+N_IN, N_OUT = 5, 5
+FNO_MODEL = ChannelFNOConfig(n_in=N_IN, n_out=N_OUT, n_fields=2,
+                             modes1=8, modes2=8, width=12, n_layers=3)
+TRAIN = TrainingConfig(epochs=30, batch_size=8, learning_rate=3e-3,
+                       scheduler_step=8, scheduler_gamma=0.5, seed=3)
+
+
+def run_baseline():
+    fno, fno_norm, fno_meta = cached_channel_model(FNO_MODEL, TRAIN)
+
+    train_s, test_s = split_dataset()
+    Xtr, Ytr = make_channel_pairs(stack_fields(train_s, "velocity"), N_IN, N_OUT)
+    Xte, Yte = make_channel_pairs(stack_fields(test_s, "velocity"), N_IN, N_OUT, stride=N_OUT)
+    norm = FieldNormalizer(n_fields=2).fit(Xtr)
+
+    # DeepONet sized to a comparable parameter budget.
+    deeponet = DeepONet2d(
+        in_channels=N_IN * 2, out_channels=N_OUT * 2, grid_size=DATA_CONFIG.n,
+        n_basis=48, branch_hidden=96, trunk_hidden=96,
+        rng=np.random.default_rng(TRAIN.seed),
+    )
+    trainer = Trainer(deeponet, TRAIN)
+    history = trainer.fit(norm.encode(Xtr), norm.encode(Ytr))
+
+    with no_grad():
+        pred_f = fno_norm.decode(fno(Tensor(fno_norm.encode(Xte))).numpy())
+        pred_d = norm.decode(deeponet(Tensor(norm.encode(Xte))).numpy())
+    err_fno = per_snapshot_relative_l2(pred_f, Yte, n_fields=2)
+    err_don = per_snapshot_relative_l2(pred_d, Yte, n_fields=2)
+
+    # Resolution behaviour: the FNO accepts a finer grid; DeepONet raises.
+    fine_input = np.repeat(np.repeat(Xte[:1], 2, axis=-2), 2, axis=-1)
+    fno_transfers = fno(Tensor(fno_norm.encode(fine_input))).shape[-1] == 2 * DATA_CONFIG.n
+    try:
+        deeponet(Tensor(norm.encode(fine_input)))
+        don_locked = False
+    except ValueError:
+        don_locked = True
+
+    return {
+        "err_fno": err_fno,
+        "err_deeponet": err_don,
+        "params_fno": fno_meta.get("parameters"),
+        "params_deeponet": deeponet.num_parameters(),
+        "deeponet_final_train_loss": history.train_loss[-1],
+        "fno_transfers_resolution": bool(fno_transfers),
+        "deeponet_resolution_locked": bool(don_locked),
+    }
+
+
+def test_baseline_deeponet(benchmark):
+    res = benchmark.pedantic(run_baseline, rounds=1, iterations=1)
+
+    print_table(
+        "Baseline — FNO vs DeepONet on the turbulence one-window task",
+        ["model", "params"] + [f"t+{i+1}" for i in range(N_OUT)] + ["mean"],
+        [
+            ["FNO2d", res["params_fno"]] + list(res["err_fno"]) + [res["err_fno"].mean()],
+            ["DeepONet", res["params_deeponet"]] + list(res["err_deeponet"]) + [res["err_deeponet"].mean()],
+        ],
+    )
+    print(f"FNO evaluates at 2x resolution: {res['fno_transfers_resolution']}; "
+          f"DeepONet resolution-locked: {res['deeponet_resolution_locked']}")
+    print(f"DeepONet final train loss {res['deeponet_final_train_loss']:.3f} vs test "
+          f"{res['err_deeponet'].mean():.3f} — memorisation without generalisation")
+
+    # The FNO wins at comparable parameters...
+    assert res["err_fno"].mean() < res["err_deeponet"].mean()
+    # ...and the DeepONet at least learned something (beats the zero map).
+    assert res["err_deeponet"].mean() < 1.0
+    # Resolution behaviour as documented.
+    assert res["fno_transfers_resolution"]
+    assert res["deeponet_resolution_locked"]
+
+    write_results("baseline_deeponet", res)

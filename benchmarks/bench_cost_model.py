@@ -1,0 +1,92 @@
+"""Extension — Sec. VII cost accounting, with measured and paper numbers.
+
+Two parts:
+
+1. measure the actual FNO-inference and PDE-interval costs of this
+   repository on the current machine and report the hybrid speed-up the
+   analytic model predicts for them;
+2. plug in the paper's published numbers (PDE: 20 s per 0.025 t_c on a
+   24-core EPYC; ML: 0.3 s inference + 0.1 s transfer per 5-snapshot
+   window on an A6000) and verify the hybrid arithmetic the discussion
+   section implies.
+"""
+
+import numpy as np
+
+from common import DATA_CONFIG, cached_channel_model, print_table, split_dataset, write_results
+from repro.core import (
+    ChannelFNOConfig,
+    ComponentCosts,
+    HybridConfig,
+    HybridCostModel,
+    TrainingConfig,
+    measure_component_costs,
+)
+from repro.data import stack_fields
+from repro.ns import SpectralNSSolver2D
+
+N_IN, N_OUT = 5, 5
+MODEL = ChannelFNOConfig(n_in=N_IN, n_out=N_OUT, n_fields=2,
+                         modes1=8, modes2=8, width=12, n_layers=3)
+TRAIN = TrainingConfig(epochs=30, batch_size=8, learning_rate=3e-3,
+                       scheduler_step=8, scheduler_gamma=0.5, seed=3)
+
+
+def run_costs():
+    model, normalizer, meta = cached_channel_model(MODEL, TRAIN)
+    _, test_s = split_dataset()
+    window = stack_fields(test_s, "velocity")[0, :N_IN].reshape(1, N_IN * 2, DATA_CONFIG.n, DATA_CONFIG.n)
+
+    solver = SpectralNSSolver2D(DATA_CONFIG.n, DATA_CONFIG.length / DATA_CONFIG.reynolds)
+    solver.set_velocity(window[0, -2:].reshape(2, DATA_CONFIG.n, DATA_CONFIG.n))
+    hycfg = HybridConfig(n_in=N_IN, n_out=N_OUT, sample_interval=DATA_CONFIG.sample_interval)
+
+    measured = measure_component_costs(model, solver, hycfg, window, repeats=5)
+    measured = ComponentCosts(
+        pde_seconds_per_interval=measured.pde_seconds_per_interval,
+        fno_seconds_per_window=measured.fno_seconds_per_window,
+        training_seconds=meta.get("seconds", 0.0) or 0.0,
+    )
+    ours = HybridCostModel(measured, hycfg)
+
+    paper_costs = ComponentCosts(
+        pde_seconds_per_interval=20.0 / 5.0,  # 20 s per 0.025 t_c = 5 × 0.005 t_c
+        fno_seconds_per_window=0.3,
+        transfer_seconds=0.1,
+        training_seconds=2.41 * 3600.0,  # Table I, channels-10 width-40
+    )
+    paper_cfg = HybridConfig(n_in=10, n_out=5, sample_interval=0.005)
+    paper = HybridCostModel(paper_costs, paper_cfg)
+    return {"measured": (measured, ours.summary()), "paper": (paper_costs, paper.summary())}
+
+
+def test_cost_model(benchmark):
+    res = benchmark.pedantic(run_costs, rounds=1, iterations=1)
+
+    rows = []
+    for name, (costs, summary) in res.items():
+        rows.append([
+            name, costs.pde_seconds_per_interval, costs.fno_seconds_per_window,
+            summary["pure_pde_s_per_tc"], summary["hybrid_s_per_tc"],
+            summary["speedup_vs_pde"], summary["amortisation_tcs"],
+        ])
+    print_table(
+        "Sec. VII — hybrid cost accounting (seconds)",
+        ["setup", "pde/interval", "fno/window", "pde s/t_c", "hybrid s/t_c",
+         "speedup", "amortise (t_c)"],
+        rows,
+    )
+
+    paper_summary = res["paper"][1]
+    # With the paper's published component costs, the hybrid must be
+    # faster than the pure PDE and the FNO must cover 1/3 of time.
+    assert paper_summary["speedup_vs_pde"] > 1.2
+    assert paper_summary["fno_time_fraction"] == 1 / 3
+    # Measured on this machine: costs positive, model self-consistent.
+    measured_summary = res["measured"][1]
+    assert measured_summary["pure_pde_s_per_tc"] > 0
+    assert measured_summary["hybrid_s_per_tc"] > 0
+
+    write_results("cost_model", {
+        name: summary for name, (_, summary) in res.items()
+    })

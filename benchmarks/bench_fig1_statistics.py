@@ -1,0 +1,73 @@
+"""Figure 1 — evolution of vorticity statistics, raw and normalised.
+
+Paper: mean stays at 0 (incompressibility), standard deviation decays,
+Frobenius norm / global enstrophy of normalised vorticity decays as small
+scales dissipate.  Each curve is one sample of the dataset.
+"""
+
+import numpy as np
+
+from common import cached_dataset, print_table, write_results
+from repro.analysis import (
+    frobenius_evolution,
+    global_enstrophy_evolution,
+    mean_evolution,
+    std_evolution,
+)
+from repro.data import normalize_by_initial
+
+
+def run_fig1():
+    samples = cached_dataset()
+    curves = {"mean_raw": [], "std_raw": [], "frob_raw": [],
+              "mean_norm": [], "std_norm": [], "enstrophy_norm": []}
+    for s in samples:
+        raw = s.vorticity
+        norm = normalize_by_initial(raw)
+        curves["mean_raw"].append(mean_evolution(raw))
+        curves["std_raw"].append(std_evolution(raw))
+        curves["frob_raw"].append(frobenius_evolution(raw))
+        curves["mean_norm"].append(mean_evolution(norm))
+        curves["std_norm"].append(std_evolution(norm))
+        curves["enstrophy_norm"].append(global_enstrophy_evolution(norm))
+    curves = {k: np.stack(v) for k, v in curves.items()}
+    return samples[0].times, curves
+
+
+def test_fig1_statistics(benchmark):
+    times, curves = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+
+    rows = []
+    for t_idx in range(0, len(times), max(1, len(times) // 8)):
+        rows.append([
+            f"{times[t_idx]:.2f}",
+            curves["mean_raw"][:, t_idx].mean(),
+            curves["std_raw"][:, t_idx].mean(),
+            curves["std_norm"][:, t_idx].mean(),
+            curves["enstrophy_norm"][:, t_idx].mean(),
+        ])
+    print_table(
+        "Fig. 1 — vorticity statistics vs time (dataset average)",
+        ["t/t_c", "mean(raw)", "std(raw)", "std(norm)", "global enstrophy(norm)"],
+        rows,
+    )
+
+    # Shape assertions (the paper's qualitative claims):
+    # 1. Mean vorticity ≈ 0 at all times.
+    assert np.abs(curves["mean_raw"]).max() < 1e-8 * curves["std_raw"].max()
+    # 2. Standard deviation decays monotonically (sample-averaged).
+    std_avg = curves["std_raw"].mean(axis=0)
+    assert std_avg[-1] < std_avg[0]
+    # 3. Normalised std starts at 1 (normalised by its own t=0 stats).
+    assert np.allclose(curves["std_norm"][:, 0], 1.0, atol=1e-10)
+    # 4. Normalised global enstrophy decays.
+    ens = curves["enstrophy_norm"].mean(axis=0)
+    assert ens[-1] < ens[0]
+
+    write_results("fig1_statistics", {
+        "times": times,
+        "std_raw_mean": curves["std_raw"].mean(axis=0),
+        "std_norm_mean": curves["std_norm"].mean(axis=0),
+        "enstrophy_norm_mean": curves["enstrophy_norm"].mean(axis=0),
+        "max_abs_mean_vorticity": float(np.abs(curves["mean_raw"]).max()),
+    })

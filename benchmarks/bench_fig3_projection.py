@@ -1,0 +1,39 @@
+"""Figure 3 — normalised projection of vorticity on its initial value.
+
+Paper: the projection (correlation with the initial field) decays with
+time; trajectories decorrelate beyond the Lyapunov time.
+"""
+
+import numpy as np
+
+from common import cached_dataset, print_table, write_results
+from repro.analysis import correlation_coefficient, initial_projection
+
+
+def run_fig3():
+    samples = cached_dataset()[:10]
+    proj = np.stack([initial_projection(s.vorticity) for s in samples])
+    corr = np.stack([correlation_coefficient(s.vorticity) for s in samples])
+    return samples[0].times, proj, corr
+
+
+def test_fig3_projection(benchmark):
+    times, proj, corr = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+
+    rows = [[f"{times[t]:.2f}", proj[:, t].mean(), corr[:, t].mean()]
+            for t in range(0, len(times), max(1, len(times) // 8))]
+    print_table(
+        "Fig. 3 — projection on the initial vorticity field (10 samples)",
+        ["t/t_c", "projection (mean)", "correlation (mean)"],
+        rows,
+    )
+
+    # Unity at t = 0.
+    assert np.allclose(proj[:, 0], 1.0, atol=1e-10)
+    assert np.allclose(corr[:, 0], 1.0, atol=1e-10)
+    # Decays with time (paper: correlation coefficient decays with t).
+    assert proj[:, -1].mean() < 0.95 * proj[:, 0].mean()
+    mean_corr = corr.mean(axis=0)
+    assert mean_corr[-1] < mean_corr[0]
+
+    write_results("fig3_projection", {"times": times, "projection": proj, "correlation": corr})

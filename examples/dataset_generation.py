@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Dataset generation with the entropic lattice Boltzmann solver (Sec. III).
+
+Reproduces the paper's data pipeline at configurable scale: random
+uniform initial conditions, 0.5 t_c warm-up, then snapshots of velocity
+and vorticity at a fixed cadence.  Fans the samples out over worker
+processes and writes a compressed shard, then prints the Fig.-1-style
+statistics of what was generated.
+
+The paper's full-scale configuration is:
+    --grid 256 --reynolds 7500 --samples 5000 --interval 0.005 --duration 1.0
+
+Usage (CPU-friendly default):
+    python examples/dataset_generation.py --grid 32 --samples 4 --workers 2
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.analysis import l2_separation, std_evolution
+from repro.data import DataGenConfig, generate_dataset, save_samples
+from repro.lbm import UnitSystem
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--grid", type=int, default=32)
+    parser.add_argument("--reynolds", type=float, default=500.0)
+    parser.add_argument("--samples", type=int, default=4)
+    parser.add_argument("--interval", type=float, default=0.02, help="snapshot cadence (t_c)")
+    parser.add_argument("--duration", type=float, default=0.4, help="sampled window (t_c)")
+    parser.add_argument("--warmup", type=float, default=0.5, help="discarded lead-in (t_c)")
+    parser.add_argument("--solver", choices=["lbm", "spectral", "fd"], default="lbm")
+    parser.add_argument("--ic", choices=["uniform", "band"], default="uniform")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="turbulence_shard.npz")
+    args = parser.parse_args()
+
+    config = DataGenConfig(
+        n=args.grid,
+        reynolds=args.reynolds,
+        n_samples=args.samples,
+        warmup=args.warmup,
+        duration=args.duration,
+        sample_interval=args.interval,
+        solver=args.solver,
+        ic=args.ic,
+        seed=args.seed,
+    )
+
+    if args.solver == "lbm":
+        units = UnitSystem(n=args.grid, reynolds=args.reynolds)
+        print(f"LBM setup: tau = {units.tau:.5f}, "
+              f"{units.steps_per_convective_time:.0f} lattice steps per t_c")
+
+    print(f"generating {args.samples} trajectories "
+          f"({config.n_snapshots} snapshots each) with {args.workers} worker(s) ...")
+    t0 = time.perf_counter()
+    samples = generate_dataset(config, n_workers=args.workers)
+    elapsed = time.perf_counter() - t0
+    print(f"done in {elapsed:.1f}s ({elapsed / args.samples:.1f}s per sample; "
+          f"the paper's 256² LBM sample took 263 s on one EPYC core)")
+
+    print("\nper-sample summary:")
+    print("  id   Re(t=0)   std ω(0) → std ω(T)   ‖ω(T)−ω(0)‖/‖ω(0)‖")
+    for s in samples:
+        stds = std_evolution(s.vorticity)
+        sep = l2_separation(s.vorticity)
+        print(f"  {s.sample_id:3d}   {s.reynolds:7.0f}   {stds[0]:.3f} → {stds[-1]:.3f}"
+              f"          {sep[-1]:.3f}")
+
+    save_samples(args.out, samples, metadata={
+        "solver": args.solver, "grid": args.grid, "reynolds": args.reynolds,
+        "interval_tc": args.interval, "duration_tc": args.duration,
+    })
+    print(f"\nshard written to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Lyapunov analysis of 2-D decaying turbulence (paper Sec. IV, Fig. 4).
+
+Estimates the maximal Lyapunov exponent by evolving two initial
+conditions separated by ``δx₀ = ‖u₁^A − u₁^B‖ = 10⁻²`` and tracking the
+component-wise separations, then reports the Eq.-(1) weighted exponents
+and the Lyapunov time T_L — the horizon beyond which any data-driven
+prediction decorrelates from the truth.
+
+Usage:
+    python examples/lyapunov_analysis.py [--grid 32] [--reynolds 800] [--duration 3.0]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import estimate_lyapunov, l2_separation, perturb_velocity
+from repro.data import band_limited_vorticity
+from repro.ns import SpectralNSSolver2D, velocity_from_vorticity
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--grid", type=int, default=32)
+    parser.add_argument("--reynolds", type=float, default=800.0)
+    parser.add_argument("--duration", type=float, default=3.0, help="in convective times")
+    parser.add_argument("--delta0", type=float, default=1e-2)
+    parser.add_argument("--snapshots", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    length = 2.0 * np.pi
+    t_c = length  # U0 = 1
+    nu = length / args.reynolds
+
+    omega = band_limited_vorticity(args.grid, np.random.default_rng(args.seed), k_peak=4.0)
+    u = velocity_from_vorticity(omega)
+
+    solver_a = SpectralNSSolver2D(args.grid, nu)
+    solver_b = SpectralNSSolver2D(args.grid, nu)
+    solver_a.set_velocity(u)
+    solver_b.set_velocity(perturb_velocity(u, args.delta0, rng=np.random.default_rng(args.seed + 1)))
+
+    print(f"grid {args.grid}^2, Re {args.reynolds:.0f}, δx0 = {args.delta0:g}")
+    print(f"evolving the pair for {args.duration} t_c ...\n")
+    result = estimate_lyapunov(
+        solver_a, solver_b, duration=args.duration * t_c, n_snapshots=args.snapshots
+    )
+
+    lam = result.lambda_series * t_c
+    print("  t/t_c    δx(u1)     δx(u2)    λ(u1)/t_c  λ(u2)/t_c")
+    for i in range(0, args.snapshots, max(1, args.snapshots // 15)):
+        print(f"  {result.times[i] / t_c:5.2f}  {result.separation[0, i]:.3e}  "
+              f"{result.separation[1, i]:.3e}  {lam[0, i]:8.3f}  {lam[1, i]:8.3f}")
+
+    exp_tc = result.exponents * t_c
+    print(f"\nEq.-(1) weighted exponents (per t_c): "
+          f"u1 → {exp_tc[0]:.3f},  u2 → {exp_tc[1]:.3f}")
+    print(f"Λ_max = {exp_tc.max():.3f}   <Λ> = {exp_tc.mean():.3f}   "
+          f"T_L = 1/Λ_max = {1.0 / exp_tc.max():.3f} t_c")
+    print("(paper at Re≈7500 on 256²: Λ_max ≈ 2.15, mean ≈ 1.7, T_L ≈ 0.45 t_c)")
+
+    # How far does the *unperturbed* trajectory itself travel?  Useful to
+    # confirm predictions are being judged over a meaningful horizon.
+    times, snaps = solver_a.run(0.0, 1)  # current state only
+    sep = l2_separation(np.stack([omega, solver_a.vorticity]))
+    print(f"\nreference field moved ‖ω(T)−ω(0)‖/‖ω(0)‖ = {sep[1]:.3f} "
+          f"over {args.duration} t_c")
+
+
+if __name__ == "__main__":
+    main()

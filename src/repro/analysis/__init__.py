@@ -1,0 +1,42 @@
+"""Flow-field analysis: statistics, separation, Lyapunov exponents,
+spectra and error metrics."""
+
+from .lyapunov import (
+    LyapunovResult,
+    estimate_lyapunov,
+    finite_time_exponents,
+    perturb_velocity,
+)
+from .metrics import (
+    per_snapshot_relative_l2,
+    percentage_error,
+    relative_l2,
+    rollout_global_errors,
+)
+from .separation import correlation_coefficient, initial_projection, l2_separation
+from .spectra import energy_spectrum, enstrophy_spectrum
+from .spectral_bias import band_energy_errors, rollout_spectral_drift, spectral_fidelity
+from .convergence import ConvergenceResult, grid_refinement_study, observed_order
+from .visualization import ascii_render, save_field_ppm, save_field_row_ppm, vorticity_to_rgb
+from .statistics import (
+    divergence_evolution,
+    frobenius_evolution,
+    global_enstrophy_evolution,
+    kinetic_energy_evolution,
+    mean_evolution,
+    std_evolution,
+    trajectory_statistics,
+)
+
+__all__ = [
+    "LyapunovResult", "estimate_lyapunov", "perturb_velocity", "finite_time_exponents",
+    "relative_l2", "per_snapshot_relative_l2", "percentage_error", "rollout_global_errors",
+    "l2_separation", "initial_projection", "correlation_coefficient",
+    "energy_spectrum", "enstrophy_spectrum",
+    "band_energy_errors", "spectral_fidelity", "rollout_spectral_drift",
+    "mean_evolution", "std_evolution", "frobenius_evolution",
+    "global_enstrophy_evolution", "kinetic_energy_evolution",
+    "divergence_evolution", "trajectory_statistics",
+    "vorticity_to_rgb", "save_field_ppm", "save_field_row_ppm", "ascii_render",
+    "ConvergenceResult", "observed_order", "grid_refinement_study",
+]

@@ -1,0 +1,83 @@
+"""Order-of-accuracy verification (method of manufactured comparisons).
+
+Classic V&V infrastructure: run a solver at a ladder of resolutions (or
+time steps), measure errors against a reference, and fit the observed
+convergence order ``p`` from ``error ∝ h^p``.  The test suite uses this
+to certify that the finite-difference solver is 2nd-order in space, the
+RK schemes are 4th/3rd-order in time, and the spectral solvers converge
+faster than any polynomial order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ConvergenceResult", "observed_order", "grid_refinement_study"]
+
+
+@dataclass
+class ConvergenceResult:
+    """Errors on a refinement ladder and the fitted order."""
+
+    resolutions: np.ndarray
+    errors: np.ndarray
+    order: float
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = ", ".join(f"{int(n)}:{e:.2e}" for n, e in zip(self.resolutions, self.errors))
+        return f"ConvergenceResult(order={self.order:.2f}, {pairs})"
+
+
+def observed_order(resolutions: Sequence[float], errors: Sequence[float]) -> float:
+    """Least-squares slope of ``log(error)`` vs ``log(1/resolution)``.
+
+    ``resolutions`` are the grid counts (or 1/dt); larger = finer.
+    A solver of order ``p`` returns ≈ ``p``.
+    """
+    res = np.asarray(resolutions, dtype=float)
+    err = np.asarray(errors, dtype=float)
+    if res.size != err.size or res.size < 2:
+        raise ValueError("need at least two (resolution, error) pairs")
+    if np.any(err <= 0):
+        raise ValueError("errors must be positive (exact results have no measurable order)")
+    slope, _ = np.polyfit(np.log(res), np.log(err), 1)
+    return float(-slope)
+
+
+def grid_refinement_study(
+    run: Callable[[int], np.ndarray],
+    exact: Callable[[int], np.ndarray],
+    resolutions: Sequence[int],
+    norm: str = "max",
+) -> ConvergenceResult:
+    """Run a solver over a resolution ladder and fit the observed order.
+
+    Parameters
+    ----------
+    run:
+        ``run(n) -> field`` — solve at resolution ``n``.
+    exact:
+        ``exact(n) -> field`` — the exact (or reference) solution sampled
+        at the same resolution.
+    resolutions:
+        Increasing ladder of grid sizes.
+    norm:
+        ``"max"`` (default) or ``"l2"`` error norm.
+    """
+    errors = []
+    for n in resolutions:
+        diff = np.asarray(run(n)) - np.asarray(exact(n))
+        if norm == "max":
+            errors.append(float(np.abs(diff).max()))
+        elif norm == "l2":
+            errors.append(float(np.sqrt(np.mean(diff**2))))
+        else:
+            raise ValueError(f"unknown norm {norm!r}")
+    return ConvergenceResult(
+        resolutions=np.asarray(resolutions, dtype=float),
+        errors=np.asarray(errors),
+        order=observed_order(resolutions, errors),
+    )

@@ -1,0 +1,66 @@
+"""Error metrics for model evaluation (Figs. 5–7, 9).
+
+The paper reports relative L2 errors per predicted snapshot, averaged
+over held-out samples, and percentage errors of global quantities
+(kinetic energy, enstrophy) along long roll-outs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "relative_l2",
+    "per_snapshot_relative_l2",
+    "percentage_error",
+    "rollout_global_errors",
+]
+
+
+def relative_l2(pred: np.ndarray, true: np.ndarray) -> float:
+    """``‖pred − true‖₂ / ‖true‖₂`` over the full arrays."""
+    denom = np.linalg.norm(true.ravel())
+    if denom == 0:
+        raise ValueError("reference field is identically zero")
+    return float(np.linalg.norm((pred - true).ravel()) / denom)
+
+
+def per_snapshot_relative_l2(pred: np.ndarray, true: np.ndarray, n_fields: int = 1) -> np.ndarray:
+    """Relative L2 per predicted snapshot, averaged over the batch.
+
+    ``pred``/``true`` have shape ``(B, n_snap*n_fields, n, n)`` with the
+    channel axis holding ``n_snap`` chronological snapshots of
+    ``n_fields`` field components each (the temporal-channel layout).
+    Returns shape ``(n_snap,)`` — the curves plotted in Figs. 5–7.
+    """
+    if pred.shape != true.shape:
+        raise ValueError(f"shape mismatch {pred.shape} vs {true.shape}")
+    B, C = pred.shape[:2]
+    if C % n_fields != 0:
+        raise ValueError(f"channel count {C} not divisible by n_fields {n_fields}")
+    n_snap = C // n_fields
+    p = pred.reshape(B, n_snap, n_fields, *pred.shape[2:])
+    t = true.reshape(B, n_snap, n_fields, *true.shape[2:])
+    diff = (p - t).reshape(B, n_snap, -1)
+    ref = t.reshape(B, n_snap, -1)
+    num = np.linalg.norm(diff, axis=2)
+    den = np.maximum(np.linalg.norm(ref, axis=2), 1e-30)
+    return (num / den).mean(axis=0)
+
+
+def percentage_error(pred: np.ndarray, true: np.ndarray) -> np.ndarray:
+    """``100 · |pred − true| / |true|`` elementwise (scalar series)."""
+    true = np.asarray(true, dtype=float)
+    pred = np.asarray(pred, dtype=float)
+    return 100.0 * np.abs(pred - true) / np.maximum(np.abs(true), 1e-30)
+
+
+def rollout_global_errors(
+    pred_curves: dict[str, np.ndarray], ref_curves: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Percentage-error curves for matching global-quantity histories."""
+    out = {}
+    for key, ref in ref_curves.items():
+        if key in pred_curves:
+            out[key] = percentage_error(pred_curves[key], ref)
+    return out

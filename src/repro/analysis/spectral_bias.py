@@ -1,0 +1,89 @@
+"""Spectral-bias diagnostics for learned emulators.
+
+The paper (Sec. I) attributes the long-horizon instability of pure ML
+emulators to *spectral bias*: the smaller scales are not learned, only
+the large-scale dynamics are captured [Chattopadhyay & Hassanzadeh].
+These diagnostics quantify that mechanism for any predicted/reference
+velocity-field pair:
+
+* :func:`band_energy_errors` — relative energy error per wavenumber band;
+* :func:`spectral_fidelity` — the wavenumber above which the prediction's
+  spectrum deviates from the reference by more than a tolerance;
+* :func:`rollout_spectral_drift` — band errors along a roll-out, showing
+  the high-``k`` bands degrading first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .spectra import energy_spectrum
+
+__all__ = ["band_energy_errors", "spectral_fidelity", "rollout_spectral_drift"]
+
+
+def band_energy_errors(
+    pred_velocity: np.ndarray,
+    ref_velocity: np.ndarray,
+    n_bands: int = 4,
+    length: float = 2.0 * np.pi,
+) -> dict[str, np.ndarray]:
+    """Relative energy error in ``n_bands`` logarithmic wavenumber bands.
+
+    Returns ``{"band_edges": (n_bands+1,), "errors": (n_bands,)}`` where
+    ``errors[i] = |E_pred − E_ref| / E_ref`` summed over band ``i``.
+    """
+    k, e_pred = energy_spectrum(pred_velocity, length)
+    _, e_ref = energy_spectrum(ref_velocity, length)
+    k_min, k_max = k[0], k[-1]
+    edges = np.geomspace(k_min, k_max * (1 + 1e-9), n_bands + 1)
+    errors = np.empty(n_bands)
+    for i in range(n_bands):
+        mask = (k >= edges[i]) & (k < edges[i + 1])
+        ref_sum = e_ref[mask].sum()
+        pred_sum = e_pred[mask].sum()
+        errors[i] = abs(pred_sum - ref_sum) / max(ref_sum, 1e-30)
+    return {"band_edges": edges, "errors": errors}
+
+
+def spectral_fidelity(
+    pred_velocity: np.ndarray,
+    ref_velocity: np.ndarray,
+    tolerance: float = 0.5,
+    length: float = 2.0 * np.pi,
+) -> float:
+    """Highest wavenumber up to which the predicted spectrum is faithful.
+
+    Scans shells from low to high ``k`` and returns the first shell centre
+    whose relative spectral error exceeds ``tolerance`` (or the maximum
+    resolved wavenumber if none does).  A spectrally biased model has a
+    fidelity wavenumber well below the grid Nyquist.
+    """
+    k, e_pred = energy_spectrum(pred_velocity, length)
+    _, e_ref = energy_spectrum(ref_velocity, length)
+    rel = np.abs(e_pred - e_ref) / np.maximum(e_ref, 1e-30)
+    bad = np.nonzero(rel > tolerance)[0]
+    return float(k[bad[0]] if bad.size else k[-1])
+
+
+def rollout_spectral_drift(
+    pred_trajectory: np.ndarray,
+    ref_trajectory: np.ndarray,
+    n_bands: int = 4,
+    length: float = 2.0 * np.pi,
+) -> np.ndarray:
+    """Band errors along a roll-out: ``(T, n_bands)``.
+
+    ``pred_trajectory``/``ref_trajectory`` have shape ``(T, 2, n, n)``.
+    Spectral bias shows as the last column (highest band) growing faster
+    than the first.
+    """
+    if pred_trajectory.shape != ref_trajectory.shape:
+        raise ValueError("trajectory shapes must match")
+    T = pred_trajectory.shape[0]
+    out = np.empty((T, n_bands))
+    for t in range(T):
+        out[t] = band_energy_errors(
+            pred_trajectory[t], ref_trajectory[t], n_bands=n_bands, length=length
+        )["errors"]
+    return out

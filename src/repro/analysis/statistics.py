@@ -1,0 +1,82 @@
+"""Global statistics of trajectory data (paper Fig. 1 and Fig. 8 bottom).
+
+All functions take a trajectory of fields with time on the first axis and
+return per-snapshot scalars.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ns.fields import divergence as field_divergence
+
+__all__ = [
+    "mean_evolution",
+    "std_evolution",
+    "frobenius_evolution",
+    "global_enstrophy_evolution",
+    "kinetic_energy_evolution",
+    "divergence_evolution",
+    "trajectory_statistics",
+]
+
+
+def mean_evolution(vorticity: np.ndarray) -> np.ndarray:
+    """Volume mean of the field per snapshot; ``(T, n, n) → (T,)``.
+
+    For incompressible periodic flow the vorticity mean is zero up to
+    numerics (top row of Fig. 1).
+    """
+    return vorticity.reshape(vorticity.shape[0], -1).mean(axis=1)
+
+
+def std_evolution(vorticity: np.ndarray) -> np.ndarray:
+    """Volume standard deviation per snapshot (middle row of Fig. 1)."""
+    return vorticity.reshape(vorticity.shape[0], -1).std(axis=1)
+
+
+def frobenius_evolution(vorticity: np.ndarray) -> np.ndarray:
+    """Frobenius norm ``‖Ω‖_F`` per snapshot (bottom row of Fig. 1)."""
+    flat = vorticity.reshape(vorticity.shape[0], -1)
+    return np.sqrt((flat * flat).sum(axis=1))
+
+
+def global_enstrophy_evolution(vorticity: np.ndarray) -> np.ndarray:
+    """Sum of squared vorticity fluctuation per snapshot.
+
+    The paper defines global enstrophy as the sum of the square of the
+    vorticity fluctuation over the domain; with zero-mean vorticity this
+    is ``‖Ω‖_F²``.
+    """
+    flat = vorticity.reshape(vorticity.shape[0], -1)
+    fluct = flat - flat.mean(axis=1, keepdims=True)
+    return (fluct * fluct).sum(axis=1)
+
+
+def kinetic_energy_evolution(velocity: np.ndarray) -> np.ndarray:
+    """Volume-mean kinetic energy per snapshot; ``(T, 2, n, n) → (T,)``."""
+    return 0.5 * (velocity**2).sum(axis=1).reshape(velocity.shape[0], -1).mean(axis=1)
+
+
+def divergence_evolution(velocity: np.ndarray, length: float = 2.0 * np.pi) -> np.ndarray:
+    """RMS divergence per snapshot — zero for solver output, nonzero for
+    raw FNO predictions (Fig. 8, bottom-right)."""
+    out = np.empty(velocity.shape[0])
+    for t in range(velocity.shape[0]):
+        d = field_divergence(velocity[t], length)
+        out[t] = float(np.sqrt(np.mean(d * d)))
+    return out
+
+
+def trajectory_statistics(vorticity: np.ndarray, velocity: np.ndarray | None = None) -> dict[str, np.ndarray]:
+    """All Fig.-1-style curves for one trajectory, keyed by name."""
+    stats = {
+        "mean": mean_evolution(vorticity),
+        "std": std_evolution(vorticity),
+        "frobenius": frobenius_evolution(vorticity),
+        "global_enstrophy": global_enstrophy_evolution(vorticity),
+    }
+    if velocity is not None:
+        stats["kinetic_energy"] = kinetic_energy_evolution(velocity)
+        stats["rms_divergence"] = divergence_evolution(velocity)
+    return stats

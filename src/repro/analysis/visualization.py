@@ -1,0 +1,118 @@
+"""Dependency-free field visualisation (paper Fig. 8, top row).
+
+Renders 2-D scalar fields (vorticity) to portable pixmap images with a
+blue–white–red diverging colormap — no matplotlib required.  PPM files
+open in any image viewer and convert losslessly to PNG.
+
+* :func:`vorticity_to_rgb` — field → ``(n, n, 3)`` uint8 image array;
+* :func:`save_field_ppm` — write a binary PPM (P6);
+* :func:`save_field_row_ppm` — several fields side by side (the Fig. 8
+  layout: PDE vs FNO vs hybrid at matching times).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["vorticity_to_rgb", "save_field_ppm", "save_field_row_ppm", "ascii_render"]
+
+# Diverging anchors: blue (negative) → white (zero) → red (positive).
+_NEG = np.array([0.230, 0.299, 0.754])
+_MID = np.array([0.865, 0.865, 0.865])
+_POS = np.array([0.706, 0.016, 0.150])
+
+
+def vorticity_to_rgb(
+    field: np.ndarray,
+    vmax: float | None = None,
+    upscale: int = 1,
+) -> np.ndarray:
+    """Map a scalar field to a diverging-colormap RGB image.
+
+    ``vmax`` sets the symmetric colour range (default: max |field|);
+    ``upscale`` repeats pixels for larger output.
+    """
+    field = np.asarray(field, dtype=float)
+    if field.ndim != 2:
+        raise ValueError("expected a 2-D scalar field")
+    if vmax is None:
+        vmax = float(np.abs(field).max()) or 1.0
+    if vmax <= 0:
+        raise ValueError("vmax must be positive")
+    t = np.clip(field / vmax, -1.0, 1.0)
+
+    rgb = np.empty(field.shape + (3,))
+    neg = t < 0
+    # Interpolate toward the mid colour from each side.
+    tt = np.abs(t)[..., None]
+    rgb[neg] = (_MID[None, :] * (1 - tt[neg]) + _NEG[None, :] * tt[neg]).reshape(-1, 3)
+    rgb[~neg] = (_MID[None, :] * (1 - tt[~neg]) + _POS[None, :] * tt[~neg]).reshape(-1, 3)
+    img = (rgb * 255.0 + 0.5).astype(np.uint8)
+    if upscale > 1:
+        img = np.repeat(np.repeat(img, upscale, axis=0), upscale, axis=1)
+    return img
+
+
+def save_field_ppm(path, field: np.ndarray, vmax: float | None = None, upscale: int = 4) -> Path:
+    """Write one field as a binary PPM image; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    img = vorticity_to_rgb(field, vmax=vmax, upscale=upscale)
+    h, w = img.shape[:2]
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode())
+        fh.write(img.tobytes())
+    return path
+
+
+def save_field_row_ppm(
+    path,
+    fields: list[np.ndarray],
+    vmax: float | None = None,
+    upscale: int = 4,
+    gap: int = 2,
+) -> Path:
+    """Write several fields side by side with a shared colour range.
+
+    This reproduces the layout of the paper's Fig. 8 visualisation row
+    (one method per column).
+    """
+    if not fields:
+        raise ValueError("no fields given")
+    if vmax is None:
+        vmax = max(float(np.abs(f).max()) for f in fields) or 1.0
+    images = [vorticity_to_rgb(f, vmax=vmax, upscale=upscale) for f in fields]
+    h = max(img.shape[0] for img in images)
+    spacer = np.full((h, gap * upscale, 3), 255, dtype=np.uint8)
+    row: list[np.ndarray] = []
+    for i, img in enumerate(images):
+        if i:
+            row.append(spacer)
+        if img.shape[0] < h:  # pad shorter panels
+            pad = np.full((h - img.shape[0], img.shape[1], 3), 255, dtype=np.uint8)
+            img = np.concatenate([img, pad], axis=0)
+        row.append(img)
+    combined = np.concatenate(row, axis=1)
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{combined.shape[1]} {combined.shape[0]}\n255\n".encode())
+        fh.write(combined.tobytes())
+    return path
+
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_render(field: np.ndarray, width: int = 48) -> str:
+    """Terminal-friendly rendering of |field| (docs, quick sanity checks)."""
+    field = np.asarray(field, dtype=float)
+    n = field.shape[0]
+    step = max(1, n // width)
+    sub = np.abs(field[::step, ::step])
+    vmax = sub.max() or 1.0
+    idx = np.minimum((sub / vmax * (len(_ASCII_RAMP) - 1)).astype(int), len(_ASCII_RAMP) - 1)
+    return "\n".join("".join(_ASCII_RAMP[i] for i in row) for row in idx)

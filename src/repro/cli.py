@@ -1,0 +1,240 @@
+"""Command-line interface.
+
+Four subcommands cover the paper's workflow end to end::
+
+    python -m repro.cli generate --grid 32 --samples 8 --out data.npz
+    python -m repro.cli train    --data data.npz --epochs 30 --out model.npz
+    python -m repro.cli rollout  --data data.npz --model model.npz --mode hybrid
+    python -m repro.cli analyze  --data data.npz
+
+Every option has a CPU-friendly default; the paper-scale settings are
+plain flag values away (``--grid 256 --reynolds 7500 --samples 5000``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FNO + 2-D turbulence reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a turbulence dataset shard")
+    g.add_argument("--grid", type=int, default=32)
+    g.add_argument("--reynolds", type=float, default=800.0)
+    g.add_argument("--samples", type=int, default=8)
+    g.add_argument("--warmup", type=float, default=0.3)
+    g.add_argument("--duration", type=float, default=0.6)
+    g.add_argument("--interval", type=float, default=0.02)
+    g.add_argument("--solver", choices=["lbm", "spectral", "fd"], default="spectral")
+    g.add_argument("--ic", choices=["uniform", "band"], default="band")
+    g.add_argument("--forcing", choices=["none", "kolmogorov", "ring"], default="none")
+    g.add_argument("--workers", type=int, default=1)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--out", default="dataset.npz")
+    g.add_argument("--shards", type=int, default=0, metavar="S",
+                   help="write shards of S samples each into the --out directory "
+                        "instead of one file (for datasets too large for memory)")
+
+    t = sub.add_parser("train", help="train a temporal-channel FNO on a shard")
+    t.add_argument("--data", required=True)
+    t.add_argument("--n-in", type=int, default=5)
+    t.add_argument("--n-out", type=int, default=5)
+    t.add_argument("--modes", type=int, default=8)
+    t.add_argument("--width", type=int, default=16)
+    t.add_argument("--layers", type=int, default=3)
+    t.add_argument("--epochs", type=int, default=30)
+    t.add_argument("--batch-size", type=int, default=8)
+    t.add_argument("--lr", type=float, default=3e-3)
+    t.add_argument("--scheduler-step", type=int, default=10)
+    t.add_argument("--scheduler-gamma", type=float, default=0.5)
+    t.add_argument("--loss", choices=["l2", "mse", "h1", "divergence"], default="l2")
+    t.add_argument("--test-fraction", type=float, default=0.25)
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--out", default="model.npz")
+
+    r = sub.add_parser("rollout", help="roll a trained model out (pure or hybrid)")
+    r.add_argument("--data", required=True, help="shard providing the initial window")
+    r.add_argument("--model", required=True)
+    r.add_argument("--mode", choices=["fno", "hybrid", "pde"], default="hybrid")
+    r.add_argument("--cycles", type=int, default=3, help="hybrid cycles (or window count)")
+    r.add_argument("--sample", type=int, default=0, help="trajectory index for the window")
+    r.add_argument("--reynolds", type=float, default=None,
+                   help="PDE viscosity via Re (default: shard metadata or 800)")
+
+    a = sub.add_parser("analyze", help="dataset statistics and Lyapunov estimate")
+    a.add_argument("--data", required=True)
+    a.add_argument("--lyapunov", action="store_true", help="also estimate the Lyapunov time")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+
+
+def _cmd_generate(args) -> int:
+    from repro.data import DataGenConfig, generate_dataset, save_samples
+
+    config = DataGenConfig(
+        n=args.grid, reynolds=args.reynolds, n_samples=args.samples,
+        warmup=args.warmup, duration=args.duration, sample_interval=args.interval,
+        solver=args.solver, ic=args.ic, seed=args.seed, forcing=args.forcing,
+    )
+    if args.shards > 0:
+        from repro.data import generate_sharded_dataset
+
+        paths = generate_sharded_dataset(config, args.out, samples_per_shard=args.shards,
+                                         n_workers=args.workers)
+        print(f"wrote {config.n_samples} trajectories into {len(paths)} shards under {args.out}")
+        return 0
+    samples = generate_dataset(config, n_workers=args.workers)
+    save_samples(args.out, samples, metadata={
+        "grid": args.grid, "reynolds": args.reynolds, "solver": args.solver,
+        "interval_tc": args.interval, "forcing": args.forcing,
+    })
+    print(f"wrote {len(samples)} trajectories ({config.n_snapshots} snapshots each) to {args.out}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.analysis import per_snapshot_relative_l2
+    from repro.core import ChannelFNOConfig, Trainer, TrainingConfig, build_fno2d_channels, save_model
+    from repro.data import (
+        FieldNormalizer,
+        load_samples,
+        make_channel_pairs,
+        stack_fields,
+        train_test_split_samples,
+    )
+    from repro.tensor import Tensor, no_grad
+
+    samples, _ = load_samples(args.data)
+    n_test = max(1, int(round(args.test_fraction * len(samples))))
+    if n_test >= len(samples):
+        print("error: dataset too small for the requested test fraction", file=sys.stderr)
+        return 2
+    train_s, test_s = train_test_split_samples(samples, n_test=n_test,
+                                               rng=np.random.default_rng(args.seed))
+    X, Y = make_channel_pairs(stack_fields(train_s, "velocity"), args.n_in, args.n_out)
+    Xt, Yt = make_channel_pairs(stack_fields(test_s, "velocity"), args.n_in, args.n_out)
+    normalizer = FieldNormalizer(n_fields=2).fit(X)
+
+    model_config = ChannelFNOConfig(
+        n_in=args.n_in, n_out=args.n_out, n_fields=2,
+        modes1=args.modes, modes2=args.modes, width=args.width, n_layers=args.layers,
+    )
+    model = build_fno2d_channels(model_config, rng=np.random.default_rng(args.seed))
+    print(f"training FNO2d ({model.num_parameters():,} parameters) on {X.shape[0]} pairs ...")
+    trainer = Trainer(model, TrainingConfig(
+        epochs=args.epochs, batch_size=args.batch_size, learning_rate=args.lr,
+        scheduler_step=args.scheduler_step, scheduler_gamma=args.scheduler_gamma,
+        loss=args.loss, seed=args.seed,
+    ))
+    trainer.fit(normalizer.encode(X), normalizer.encode(Y),
+                normalizer.encode(Xt), normalizer.encode(Yt),
+                log_every=max(args.epochs // 6, 1))
+
+    with no_grad():
+        pred = normalizer.decode(model(Tensor(normalizer.encode(Xt))).numpy())
+    errs = per_snapshot_relative_l2(pred, Yt, n_fields=2)
+    print("test per-snapshot rel. L2:", " ".join(f"{e:.4f}" for e in errs))
+    save_model(args.out, model, model_config, normalizer)
+    print(f"model saved to {args.out}")
+    return 0
+
+
+def _cmd_rollout(args) -> int:
+    from repro.core import (
+        HybridConfig,
+        HybridFNOPDE,
+        load_model,
+        run_pure_fno,
+        run_pure_pde,
+    )
+    from repro.data import load_samples
+    from repro.ns import FDNSSolver2D
+
+    samples, meta = load_samples(args.data)
+    model, config, normalizer = load_model(args.model)
+    sample = samples[args.sample]
+    window = sample.velocity[: config.n_in]
+    dt = float(sample.times[1] - sample.times[0])
+    reynolds = args.reynolds or float(meta.get("reynolds", 800.0))
+    n = sample.grid_size
+    nu = 2 * np.pi / reynolds
+
+    hycfg = HybridConfig(n_in=config.n_in, n_out=config.n_out, n_fields=2,
+                         sample_interval=dt, n_cycles=args.cycles)
+    if args.mode == "hybrid":
+        record = HybridFNOPDE(model, FDNSSolver2D(n, nu), hycfg, normalizer=normalizer).run(window)
+    elif args.mode == "fno":
+        record = run_pure_fno(model, window, n_snapshots=args.cycles * (config.n_in + config.n_out),
+                              n_fields=2, normalizer=normalizer, sample_interval=dt)
+    else:
+        record = run_pure_pde(FDNSSolver2D(n, nu), window,
+                              n_snapshots=args.cycles * (config.n_in + config.n_out),
+                              sample_interval=dt)
+    d = record.diagnostics()
+    print(f"{'t/t_c':>7} {'KE':>10} {'enstrophy':>11} {'rms div':>10}  source")
+    for i in range(0, record.n_snapshots, max(1, record.n_snapshots // 15)):
+        print(f"{d['times'][i]:7.3f} {d['kinetic_energy'][i]:10.5f} "
+              f"{d['enstrophy'][i]:11.5f} {d['rms_divergence'][i]:10.2e}  {record.source[i]}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import correlation_coefficient, l2_separation, std_evolution
+    from repro.data import load_samples
+
+    samples, meta = load_samples(args.data)
+    print(f"{len(samples)} trajectories, grid {samples[0].grid_size}^2, "
+          f"{samples[0].n_snapshots} snapshots, metadata {meta}")
+    print(f"{'id':>4} {'Re(0)':>8} {'std ω(0)':>9} {'std ω(T)':>9} {'sep(T)':>8} {'corr(T)':>8}")
+    for s in samples:
+        stds = std_evolution(s.vorticity)
+        sep = l2_separation(s.vorticity)
+        corr = correlation_coefficient(s.vorticity)
+        print(f"{s.sample_id:>4} {s.reynolds:8.0f} {stds[0]:9.4f} {stds[-1]:9.4f} "
+              f"{sep[-1]:8.4f} {corr[-1]:8.4f}")
+
+    if args.lyapunov:
+        from repro.analysis import estimate_lyapunov, perturb_velocity
+        from repro.ns import SpectralNSSolver2D
+
+        s = samples[0]
+        n = s.grid_size
+        reynolds = float(meta.get("reynolds", 800.0))
+        nu = 2 * np.pi / reynolds
+        a, b = SpectralNSSolver2D(n, nu), SpectralNSSolver2D(n, nu)
+        a.set_velocity(s.velocity[0])
+        b.set_velocity(perturb_velocity(s.velocity[0], 1e-2, rng=np.random.default_rng(0)))
+        result = estimate_lyapunov(a, b, duration=3.0 * 2 * np.pi, n_snapshots=30)
+        t_c = 2 * np.pi
+        exps = result.exponents * t_c
+        print(f"\nLyapunov: Λ(u1)={exps[0]:.3f}/t_c Λ(u2)={exps[1]:.3f}/t_c "
+              f"T_L={1.0 / exps.max():.3f} t_c")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "train": _cmd_train,
+    "rollout": _cmd_rollout,
+    "analyze": _cmd_analyze,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

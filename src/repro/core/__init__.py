@@ -1,0 +1,32 @@
+"""The paper's contribution layer: model builders, training protocol,
+iterative roll-outs and the hybrid FNO–PDE scheme."""
+
+from .config import (
+    ChannelFNOConfig,
+    HybridConfig,
+    SpaceTimeFNOConfig,
+    Spatial3DChannelsConfig,
+    TrainingConfig,
+)
+from .costs import ComponentCosts, HybridCostModel, measure_component_costs
+from .hybrid import HybridFNOPDE, RolloutRecord, run_pure_fno, run_pure_pde
+from .models import (
+    build_fno2d_channels,
+    build_fno3d,
+    build_fno3d_spatial_channels,
+    build_model,
+    parameter_count,
+)
+from .rollout import rollout_channels, rollout_spacetime
+from .training import Trainer, TrainingHistory, make_loss
+from .zoo import load_model, save_model
+
+__all__ = [
+    "ChannelFNOConfig", "SpaceTimeFNOConfig", "Spatial3DChannelsConfig", "TrainingConfig", "HybridConfig",
+    "build_fno2d_channels", "build_fno3d", "build_fno3d_spatial_channels", "build_model", "parameter_count",
+    "Trainer", "TrainingHistory", "make_loss",
+    "rollout_channels", "rollout_spacetime",
+    "HybridFNOPDE", "RolloutRecord", "run_pure_fno", "run_pure_pde",
+    "ComponentCosts", "HybridCostModel", "measure_component_costs",
+    "save_model", "load_model",
+]

@@ -1,0 +1,140 @@
+"""Experiment configuration dataclasses.
+
+Everything the paper sweeps is a field here: architecture
+(width/layers/modes), optimisation (lr, StepLR gamma/step), data windows
+(input/output snapshot counts) and the hybrid schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+__all__ = [
+    "ChannelFNOConfig",
+    "SpaceTimeFNOConfig",
+    "Spatial3DChannelsConfig",
+    "TrainingConfig",
+    "HybridConfig",
+]
+
+
+@dataclass(frozen=True)
+class ChannelFNOConfig:
+    """Architecture of the 2-D FNO with temporal channels (paper Sec. V).
+
+    ``in_channels = n_in × n_fields`` and ``out_channels = n_out ×
+    n_fields``; the paper trains on velocity (``n_fields = 2``) with
+    ``n_in = 10`` and ``n_out ∈ {1, 5, 10}``.
+    """
+
+    n_in: int = 10
+    n_out: int = 5
+    n_fields: int = 2
+    modes1: int = 12
+    modes2: int = 12
+    width: int = 20
+    n_layers: int = 4
+    projection_channels: int = 128
+    append_grid: bool = True
+    divergence_free: bool = False
+
+    @property
+    def in_channels(self) -> int:
+        return self.n_in * self.n_fields
+
+    @property
+    def out_channels(self) -> int:
+        return self.n_out * self.n_fields
+
+    def to_dict(self) -> dict:
+        return {"kind": "channel_fno", **asdict(self)}
+
+
+@dataclass(frozen=True)
+class SpaceTimeFNOConfig:
+    """Architecture of the 3-D (space–time) FNO (paper Sec. V)."""
+
+    n_in: int = 10
+    n_out: int = 10
+    n_fields: int = 2
+    modes1: int = 8
+    modes2: int = 8
+    modes3: int = 4
+    width: int = 8
+    n_layers: int = 4
+    projection_channels: int = 128
+    time_padding: int = 4
+    append_grid: bool = True
+
+    def to_dict(self) -> dict:
+        return {"kind": "spacetime_fno", **asdict(self)}
+
+
+@dataclass(frozen=True)
+class Spatial3DChannelsConfig:
+    """The paper's proposed 3-D extension (Sec. VII): Fourier modes over
+    the *three spatial* dimensions with time snapshots stacked along the
+    channel axis — "3D FNO for spatial and channels for temporal".
+
+    ``n_fields = 3`` for 3-D velocity; all three mode counts address
+    periodic spatial axes (``modes3`` still counts half-spectrum bins of
+    the last axis), so no temporal padding is used.
+    """
+
+    n_in: int = 5
+    n_out: int = 5
+    n_fields: int = 3
+    modes1: int = 4
+    modes2: int = 4
+    modes3: int = 3
+    width: int = 8
+    n_layers: int = 3
+    projection_channels: int = 64
+    append_grid: bool = True
+
+    @property
+    def in_channels(self) -> int:
+        return self.n_in * self.n_fields
+
+    @property
+    def out_channels(self) -> int:
+        return self.n_out * self.n_fields
+
+    def to_dict(self) -> dict:
+        return {"kind": "spatial3d_channels", **asdict(self)}
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Optimisation protocol (paper defaults: Adam, lr 1e-3, StepLR)."""
+
+    epochs: int = 50
+    batch_size: int = 8
+    learning_rate: float = 1e-3
+    scheduler_step: int = 100
+    scheduler_gamma: float = 0.5
+    weight_decay: float = 0.0
+    loss: str = "l2"  # "l2" | "h1" | "divergence" | "mse"
+    seed: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Schedule of the hybrid FNO–PDE driver (paper Sec. VI-C).
+
+    One cycle = the FNO emits ``n_out`` snapshots from the last ``n_in``,
+    then the PDE solver integrates onward from the newest state for
+    ``n_in`` snapshot intervals, re-filling the FNO input window.
+    """
+
+    n_in: int = 10
+    n_out: int = 5
+    n_fields: int = 2
+    sample_interval: float = 0.005  # snapshot spacing, units of t_c
+    n_cycles: int = 4
+
+    def to_dict(self) -> dict:
+        return asdict(self)

@@ -1,0 +1,150 @@
+"""Cost accounting for hybrid FNO–PDE workflows (paper Sec. VII).
+
+The paper's discussion section prices the hybrid scheme's components:
+the PDE solver takes 20 s per 0.025 t_c on a 24-core EPYC, the ML side
+0.1 s host-device transfer + 0.3 s inference on an A6000, plus one-time
+training and data-generation costs amortised over inference calls.
+
+:class:`HybridCostModel` reproduces that accounting for arbitrary
+measured (or projected) component costs: given per-window costs and a
+hybrid schedule, it reports the wall-clock per convective time of the
+pure-PDE, pure-FNO and hybrid pipelines, the hybrid speed-up, and the
+number of simulated convective times needed to amortise training.
+
+:func:`measure_component_costs` times the actual components of this
+repository on the current machine so the model can be fed real numbers
+(see ``benchmarks/bench_cost_model.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import Module
+from ..ns.base import NSSolverBase
+from ..tensor import Tensor, no_grad
+from .config import HybridConfig
+
+__all__ = ["ComponentCosts", "HybridCostModel", "measure_component_costs"]
+
+
+@dataclass(frozen=True)
+class ComponentCosts:
+    """Wall-clock seconds of the pipeline components.
+
+    ``pde_seconds_per_interval`` / ``fno_seconds_per_window`` are the
+    costs of advancing one snapshot interval with the PDE solver and of
+    one FNO forward pass (which emits ``n_out`` snapshot intervals).
+    ``transfer_seconds`` models the host↔device copies the paper charges
+    to the ML side (0 for a pure-CPU run).  ``training_seconds`` and
+    ``data_generation_seconds`` are one-time costs.
+    """
+
+    pde_seconds_per_interval: float
+    fno_seconds_per_window: float
+    transfer_seconds: float = 0.0
+    training_seconds: float = 0.0
+    data_generation_seconds: float = 0.0
+
+
+class HybridCostModel:
+    """Analytic wall-clock model of the three roll-out pipelines."""
+
+    def __init__(self, costs: ComponentCosts, config: HybridConfig):
+        if config.sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.costs = costs
+        self.config = config
+
+    # ------------------------------------------------------------------
+    @property
+    def intervals_per_tc(self) -> float:
+        return 1.0 / self.config.sample_interval
+
+    def pure_pde_seconds_per_tc(self) -> float:
+        return self.costs.pde_seconds_per_interval * self.intervals_per_tc
+
+    def pure_fno_seconds_per_tc(self) -> float:
+        windows = self.intervals_per_tc / self.config.n_out
+        return windows * (self.costs.fno_seconds_per_window + self.costs.transfer_seconds)
+
+    def hybrid_seconds_per_tc(self) -> float:
+        """One cycle advances ``n_out + n_in`` intervals: ``n_out`` by the
+        FNO, ``n_in`` by the PDE solver."""
+        cfg = self.config
+        cycle_intervals = cfg.n_out + cfg.n_in
+        cycle_seconds = (
+            self.costs.fno_seconds_per_window
+            + self.costs.transfer_seconds
+            + cfg.n_in * self.costs.pde_seconds_per_interval
+        )
+        cycles_per_tc = self.intervals_per_tc / cycle_intervals
+        return cycles_per_tc * cycle_seconds
+
+    # ------------------------------------------------------------------
+    def speedup(self) -> float:
+        """Hybrid speed-up over the pure PDE pipeline."""
+        return self.pure_pde_seconds_per_tc() / self.hybrid_seconds_per_tc()
+
+    def fno_fraction_of_time_simulated(self) -> float:
+        cfg = self.config
+        return cfg.n_out / (cfg.n_out + cfg.n_in)
+
+    def amortisation_tcs(self) -> float:
+        """Simulated convective times after which the one-time ML costs
+        (training + data generation) are repaid by the hybrid savings.
+
+        Returns ``inf`` when the hybrid is not faster than the PDE.
+        """
+        saving = self.pure_pde_seconds_per_tc() - self.hybrid_seconds_per_tc()
+        one_time = self.costs.training_seconds + self.costs.data_generation_seconds
+        if saving <= 0:
+            return float("inf")
+        return one_time / saving
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "pure_pde_s_per_tc": self.pure_pde_seconds_per_tc(),
+            "pure_fno_s_per_tc": self.pure_fno_seconds_per_tc(),
+            "hybrid_s_per_tc": self.hybrid_seconds_per_tc(),
+            "speedup_vs_pde": self.speedup(),
+            "fno_time_fraction": self.fno_fraction_of_time_simulated(),
+            "amortisation_tcs": self.amortisation_tcs(),
+        }
+
+
+def measure_component_costs(
+    model: Module,
+    solver: NSSolverBase,
+    config: HybridConfig,
+    window: np.ndarray,
+    convective_time: float | None = None,
+    repeats: int = 3,
+) -> ComponentCosts:
+    """Time the actual FNO forward pass and PDE interval on this machine.
+
+    ``window`` is one FNO input batch ``(1, n_in·n_fields, n, n)``.
+    """
+    t_c = convective_time if convective_time is not None else solver.length
+    dt_phys = config.sample_interval * t_c
+
+    model.eval()
+    with no_grad():
+        model(Tensor(window))  # warm-up
+        start = time.perf_counter()
+        for _ in range(repeats):
+            model(Tensor(window))
+        fno_seconds = (time.perf_counter() - start) / repeats
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        solver.advance(dt_phys)
+    pde_seconds = (time.perf_counter() - start) / repeats
+
+    return ComponentCosts(
+        pde_seconds_per_interval=pde_seconds,
+        fno_seconds_per_window=fno_seconds,
+    )

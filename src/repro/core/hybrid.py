@@ -1,0 +1,226 @@
+"""Hybrid FNO–PDE driver (paper Sec. VI-C).
+
+The hybrid scheme alternates between the trained FNO and a numerical PDE
+solver: the FNO consumes its ``n_in``-snapshot window and emits ``n_out``
+future snapshots; the PDE solver then restarts from the newest state and
+integrates for ``n_in`` snapshot intervals, refilling the FNO window.
+Because the solver state is vorticity, handing an FNO prediction to the
+PDE solver implicitly projects it back onto the divergence-free manifold
+— the mechanism behind the divergence plot of Fig. 8.
+
+Three drivers share the :class:`RolloutRecord` output format so the
+Fig. 8/9 benchmarks can overlay them directly:
+
+* :func:`run_pure_pde` — the reference trajectory.
+* :func:`run_pure_fno` — iterative FNO roll-out (blows up eventually).
+* :class:`HybridFNOPDE` — the alternating scheme (stays bounded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.statistics import (
+    divergence_evolution,
+    global_enstrophy_evolution,
+    kinetic_energy_evolution,
+)
+from ..nn import Module
+from ..ns.base import NSSolverBase
+from ..ns.fields import enstrophy, vorticity_from_velocity
+from ..tensor import Tensor, no_grad
+from .config import HybridConfig
+from .rollout import rollout_channels
+
+__all__ = ["RolloutRecord", "HybridFNOPDE", "run_pure_fno", "run_pure_pde"]
+
+
+@dataclass
+class RolloutRecord:
+    """A roll-out trajectory with per-snapshot provenance.
+
+    ``times`` are in convective units; ``source[i]`` is ``"init"``,
+    ``"fno"`` or ``"pde"`` depending on which component produced
+    snapshot ``i``.
+    """
+
+    times: np.ndarray
+    velocity: np.ndarray  # (T, 2, n, n)
+    source: list[str] = field(default_factory=list)
+    length: float = 2.0 * np.pi
+
+    @property
+    def n_snapshots(self) -> int:
+        return self.velocity.shape[0]
+
+    @property
+    def vorticity(self) -> np.ndarray:
+        return np.stack(
+            [vorticity_from_velocity(self.velocity[t], self.length) for t in range(self.n_snapshots)]
+        )
+
+    def diagnostics(self) -> dict[str, np.ndarray]:
+        """Global curves of Fig. 8: kinetic energy, enstrophy, divergence."""
+        omega = self.vorticity
+        return {
+            "times": self.times,
+            "kinetic_energy": kinetic_energy_evolution(self.velocity),
+            "enstrophy": np.array([enstrophy(omega[t]) for t in range(self.n_snapshots)]),
+            "global_enstrophy": global_enstrophy_evolution(omega),
+            "rms_divergence": divergence_evolution(self.velocity, self.length),
+        }
+
+
+def _window_to_channels(window: np.ndarray) -> np.ndarray:
+    """``(n_snap, 2, n, n)`` → ``(1, n_snap·2, n, n)`` (snapshot-major)."""
+    n_snap, n_fields, n1, n2 = window.shape
+    return window.reshape(1, n_snap * n_fields, n1, n2)
+
+
+def _channels_to_snapshots(channels: np.ndarray, n_fields: int = 2) -> np.ndarray:
+    """``(1, n_snap·n_fields, n, n)`` → ``(n_snap, n_fields, n, n)``."""
+    _, C, n1, n2 = channels.shape
+    return channels.reshape(C // n_fields, n_fields, n1, n2)
+
+
+class HybridFNOPDE:
+    """Alternating FNO/PDE integrator.
+
+    Parameters
+    ----------
+    model:
+        Trained temporal-channel FNO (``in/out_channels`` consistent with
+        ``config``).
+    solver:
+        A :class:`repro.ns.NSSolverBase` instance on the same grid.
+    config:
+        Window sizes and snapshot spacing.
+    normalizer:
+        Optional :class:`repro.data.FieldNormalizer` applied around the
+        model.
+    convective_time:
+        Physical duration of one ``t_c`` (solver time units per
+        convective time; equals the domain length when U0 = 1).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        solver: NSSolverBase,
+        config: HybridConfig,
+        normalizer=None,
+        convective_time: float | None = None,
+    ):
+        expected_in = config.n_in * config.n_fields
+        expected_out = config.n_out * config.n_fields
+        if model.in_channels != expected_in or model.out_channels != expected_out:
+            raise ValueError(
+                f"model channels ({model.in_channels}→{model.out_channels}) do not match "
+                f"config windows ({expected_in}→{expected_out})"
+            )
+        self.model = model
+        self.solver = solver
+        self.config = config
+        self.normalizer = normalizer
+        self.convective_time = (
+            convective_time if convective_time is not None else solver.length
+        )
+
+    # ------------------------------------------------------------------
+    def _fno_step(self, window: np.ndarray) -> np.ndarray:
+        """Predict the next ``n_out`` snapshots from an ``n_in`` window."""
+        x = _window_to_channels(window)
+        if self.normalizer is not None:
+            x = self.normalizer.encode(x)
+        self.model.eval()
+        with no_grad():
+            pred = self.model(Tensor(x)).numpy()
+        if self.normalizer is not None:
+            pred = self.normalizer.decode(pred)
+        return _channels_to_snapshots(pred, self.config.n_fields)
+
+    def _pde_step(self, u_start: np.ndarray, n_snapshots: int) -> np.ndarray:
+        """Integrate from ``u_start`` and return the next ``n_snapshots``."""
+        self.solver.set_velocity(u_start)
+        dt_phys = self.config.sample_interval * self.convective_time
+        out = np.empty((n_snapshots,) + u_start.shape)
+        for i in range(n_snapshots):
+            self.solver.advance(dt_phys)
+            out[i] = self.solver.velocity
+        return out
+
+    # ------------------------------------------------------------------
+    def run(self, initial_window: np.ndarray, t0: float = 0.0) -> RolloutRecord:
+        """Run ``config.n_cycles`` FNO+PDE cycles from an initial window.
+
+        ``initial_window`` holds ``n_in`` velocity snapshots
+        ``(n_in, 2, n, n)`` spaced ``sample_interval`` apart (physical
+        units).  The record includes the initial window.
+        """
+        cfg = self.config
+        if initial_window.shape[0] != cfg.n_in:
+            raise ValueError(f"expected {cfg.n_in} initial snapshots, got {initial_window.shape[0]}")
+        snapshots = [initial_window[i] for i in range(cfg.n_in)]
+        source = ["init"] * cfg.n_in
+
+        for _ in range(cfg.n_cycles):
+            window = np.stack(snapshots[-cfg.n_in :])
+            fno_out = self._fno_step(window)
+            snapshots.extend(fno_out)
+            source.extend(["fno"] * cfg.n_out)
+
+            pde_out = self._pde_step(snapshots[-1], cfg.n_in)
+            snapshots.extend(pde_out)
+            source.extend(["pde"] * cfg.n_in)
+
+        times = t0 + np.arange(len(snapshots)) * cfg.sample_interval
+        return RolloutRecord(
+            times=times,
+            velocity=np.stack(snapshots),
+            source=source,
+            length=self.solver.length,
+        )
+
+
+def run_pure_fno(
+    model: Module,
+    initial_window: np.ndarray,
+    n_snapshots: int,
+    n_fields: int = 2,
+    normalizer=None,
+    sample_interval: float = 0.005,
+    t0: float = 0.0,
+    length: float = 2.0 * np.pi,
+) -> RolloutRecord:
+    """Iterative pure-FNO roll-out in the shared record format."""
+    window_ch = _window_to_channels(initial_window)
+    preds = rollout_channels(model, window_ch, n_snapshots, n_fields, normalizer)
+    pred_snaps = _channels_to_snapshots(preds, n_fields)
+    all_snaps = np.concatenate([initial_window, pred_snaps])
+    times = t0 + np.arange(all_snaps.shape[0]) * sample_interval
+    source = ["init"] * initial_window.shape[0] + ["fno"] * pred_snaps.shape[0]
+    return RolloutRecord(times=times, velocity=all_snaps, source=source, length=length)
+
+
+def run_pure_pde(
+    solver: NSSolverBase,
+    initial_window: np.ndarray,
+    n_snapshots: int,
+    sample_interval: float = 0.005,
+    convective_time: float | None = None,
+    t0: float = 0.0,
+) -> RolloutRecord:
+    """Reference PDE trajectory continuing from the newest initial snapshot."""
+    t_c = convective_time if convective_time is not None else solver.length
+    solver.set_velocity(initial_window[-1])
+    dt_phys = sample_interval * t_c
+    snaps = [initial_window[i] for i in range(initial_window.shape[0])]
+    source = ["init"] * initial_window.shape[0]
+    for _ in range(n_snapshots):
+        solver.advance(dt_phys)
+        snaps.append(solver.velocity)
+        source.append("pde")
+    times = t0 + np.arange(len(snaps)) * sample_interval
+    return RolloutRecord(times=times, velocity=np.stack(snaps), source=source, length=solver.length)

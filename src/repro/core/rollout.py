@@ -1,0 +1,108 @@
+"""Iterative roll-out of trained FNO models (paper Sec. VI-A/B).
+
+The temporal-channel model maps ``n_in`` snapshots to ``n_out`` future
+snapshots; longer horizons are reached by feeding predictions back as
+inputs.  With fewer output channels more iterations are needed — the
+source of the "compound error" the paper observes for the
+1-output-channel model in Fig. 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module
+from ..tensor import Tensor, no_grad
+
+__all__ = ["rollout_channels", "rollout_spacetime"]
+
+
+def rollout_channels(
+    model: Module,
+    window: np.ndarray,
+    n_snapshots: int,
+    n_fields: int = 2,
+    normalizer=None,
+) -> np.ndarray:
+    """Roll the temporal-channel FNO forward.
+
+    Parameters
+    ----------
+    model:
+        Trained :class:`repro.nn.FNO2d` with ``in_channels = n_in·n_fields``
+        and ``out_channels = n_out·n_fields``.
+    window:
+        Initial input of shape ``(B, n_in·n_fields, n, n)`` in *physical*
+        units (the normalizer, if given, is applied around the model).
+    n_snapshots:
+        Number of future snapshots to produce (the model is applied
+        ``ceil(n_snapshots / n_out)`` times and the result truncated).
+    n_fields:
+        Field components per snapshot (2 for velocity).
+    normalizer:
+        Optional :class:`repro.data.UnitGaussianNormalizer` fitted on
+        model inputs; predictions are decoded back to physical units
+        before being re-encoded as the next input window.
+
+    Returns
+    -------
+    Predictions of shape ``(B, n_snapshots·n_fields, n, n)``.
+    """
+    if window.ndim != 4:
+        raise ValueError("window must be (B, C, n, n)")
+    n_in_ch = model.in_channels
+    n_out_ch = model.out_channels
+    if window.shape[1] != n_in_ch:
+        raise ValueError(f"window has {window.shape[1]} channels, model expects {n_in_ch}")
+    if n_in_ch % n_fields or n_out_ch % n_fields:
+        raise ValueError("channel counts must be multiples of n_fields")
+    n_out = n_out_ch // n_fields
+
+    history = window.copy()
+    produced: list[np.ndarray] = []
+    total = 0
+    model.eval()
+    with no_grad():
+        while total < n_snapshots:
+            x = history[:, -n_in_ch:]
+            if normalizer is not None:
+                x = normalizer.encode(x)
+            pred = model(Tensor(x)).numpy()
+            if normalizer is not None:
+                pred = normalizer.decode(pred)
+            produced.append(pred)
+            history = np.concatenate([history, pred], axis=1)
+            total += n_out
+    out = np.concatenate(produced, axis=1)
+    return out[:, : n_snapshots * n_fields]
+
+
+def rollout_spacetime(
+    model: Module,
+    block: np.ndarray,
+    n_windows: int,
+    normalizer=None,
+) -> np.ndarray:
+    """Roll the 3-D FNO forward by whole space–time windows.
+
+    ``block`` has shape ``(B, C, n, n, n_in)``; each application produces
+    the next ``n_out`` snapshots along the last axis.  Returns
+    ``(B, C, n, n, n_windows·n_out)``.
+    """
+    if block.ndim != 5:
+        raise ValueError("block must be (B, C, n, n, T)")
+    history = block.copy()
+    outputs: list[np.ndarray] = []
+    n_in = block.shape[-1]
+    model.eval()
+    with no_grad():
+        for _ in range(n_windows):
+            x = history[..., -n_in:]
+            if normalizer is not None:
+                x = normalizer.encode(x)
+            pred = model(Tensor(x)).numpy()
+            if normalizer is not None:
+                pred = normalizer.decode(pred)
+            outputs.append(pred)
+            history = np.concatenate([history, pred], axis=-1)
+    return np.concatenate(outputs, axis=-1)

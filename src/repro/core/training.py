@@ -1,0 +1,229 @@
+"""Training loop (Adam + StepLR + relative-L2 loss, as in the paper).
+
+Supports checkpoint/resume: :meth:`Trainer.save_checkpoint` captures the
+model, the Adam moments, the scheduler position and the history, and
+:meth:`Trainer.load_checkpoint` restores them so a run continues exactly
+where it stopped — important for the paper-scale multi-hour trainings
+(Table I lists runs up to 23 h).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..data.loader import DataLoader
+from ..nn import DivergenceLoss, H1Loss, LpLoss, Module, MSELoss
+from ..optim import Adam, StepLR
+from ..tensor import Tensor, no_grad
+from .config import TrainingConfig
+
+__all__ = ["TrainingHistory", "Trainer", "make_loss"]
+
+
+def make_loss(name: str) -> Module:
+    """Loss factory for :class:`TrainingConfig.loss`."""
+    table = {
+        "l2": LpLoss,
+        "mse": MSELoss,
+        "h1": H1Loss,
+        "divergence": DivergenceLoss,
+    }
+    try:
+        return table[name]()
+    except KeyError:
+        raise ValueError(f"unknown loss {name!r}; choose from {sorted(table)}") from None
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a training run."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    learning_rate: list[float] = field(default_factory=list)
+    epoch_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.epoch_seconds))
+
+    @property
+    def best_val_loss(self) -> float:
+        return min(self.val_loss) if self.val_loss else float("nan")
+
+    def as_dict(self) -> dict[str, list[float]]:
+        return {
+            "train_loss": self.train_loss,
+            "val_loss": self.val_loss,
+            "learning_rate": self.learning_rate,
+            "epoch_seconds": self.epoch_seconds,
+        }
+
+
+class Trainer:
+    """Fits a model with the paper's protocol.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`repro.nn.Module` mapping input tensors to predictions.
+    config:
+        Optimisation hyper-parameters (lr, StepLR step/gamma, epochs, …).
+    loss:
+        Override the loss module (defaults to ``config.loss``).
+    """
+
+    def __init__(self, model: Module, config: TrainingConfig, loss: Module | None = None):
+        self.model = model
+        self.config = config
+        self.loss = loss if loss is not None else make_loss(config.loss)
+        self.optimizer = Adam(
+            model.parameters(),
+            lr=config.learning_rate,
+            weight_decay=config.weight_decay,
+        )
+        self.scheduler = StepLR(
+            self.optimizer, step_size=config.scheduler_step, gamma=config.scheduler_gamma
+        )
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------
+    def train_epoch(self, loader: DataLoader) -> float:
+        """One pass over the loader; returns the mean batch loss."""
+        self.model.train()
+        total, count = 0.0, 0
+        for xb, yb in loader:
+            self.model.zero_grad()
+            loss = self.loss(self.model(xb), yb)
+            loss.backward()
+            self.optimizer.step()
+            total += loss.item() * xb.shape[0]
+            count += xb.shape[0]
+        return total / max(count, 1)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int | None = None) -> float:
+        """Mean loss over a held-out array pair (no gradients)."""
+        self.model.eval()
+        bs = batch_size or self.config.batch_size
+        total, count = 0.0, 0
+        with no_grad():
+            for start in range(0, len(x), bs):
+                xb = Tensor(x[start : start + bs])
+                yb = Tensor(y[start : start + bs])
+                loss = self.loss(self.model(xb), yb)
+                total += loss.item() * xb.shape[0]
+                count += xb.shape[0]
+        return total / max(count, 1)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    @property
+    def epochs_completed(self) -> int:
+        return len(self.history.train_loss)
+
+    def save_checkpoint(self, path) -> None:
+        """Write model weights, optimiser moments, scheduler position and
+        the training history to ``path`` (npz)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays: dict[str, np.ndarray] = {}
+        for name, value in self.model.state_dict().items():
+            arrays[f"model::{name}"] = value
+        opt_state = self.optimizer.state_dict()
+        for i, (m, v) in enumerate(zip(opt_state["m"], opt_state["v"])):
+            arrays[f"opt::m{i}"] = m
+            arrays[f"opt::v{i}"] = v
+        header = {
+            "opt_t": opt_state["t"],
+            "opt_lr": opt_state["lr"],
+            "n_params": len(opt_state["m"]),
+            "scheduler_epoch": self.scheduler.epoch,
+            "history": self.history.as_dict(),
+        }
+        arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+        np.savez_compressed(path, **arrays)
+
+    def load_checkpoint(self, path) -> None:
+        """Restore a state written by :meth:`save_checkpoint`."""
+        path = Path(path)
+        with np.load(path) as data:
+            header = json.loads(bytes(data["header"]).decode())
+            model_state = {
+                key[len("model::") :]: data[key]
+                for key in data.files
+                if key.startswith("model::")
+            }
+            self.model.load_state_dict(model_state)
+            n = int(header["n_params"])
+            self.optimizer.load_state_dict({
+                "t": header["opt_t"],
+                "lr": header["opt_lr"],
+                "m": [data[f"opt::m{i}"] for i in range(n)],
+                "v": [data[f"opt::v{i}"] for i in range(n)],
+            })
+            self.scheduler.epoch = int(header["scheduler_epoch"])
+            hist = header["history"]
+            self.history = TrainingHistory(
+                train_loss=list(hist["train_loss"]),
+                val_loss=list(hist["val_loss"]),
+                learning_rate=list(hist["learning_rate"]),
+                epoch_seconds=list(hist["epoch_seconds"]),
+            )
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+        log_every: int = 0,
+        rng=None,
+        checkpoint_path=None,
+        checkpoint_every: int = 0,
+    ) -> TrainingHistory:
+        """Train until ``config.epochs`` epochs are completed in total.
+
+        When resuming from a checkpoint, only the remaining epochs run.
+        Validation (if given) is evaluated after every epoch with the
+        training loss module.  With ``checkpoint_path`` and
+        ``checkpoint_every`` set, a checkpoint is written every that many
+        epochs (and at the end).
+        """
+        loader = DataLoader(
+            x_train, y_train, batch_size=self.config.batch_size, shuffle=True,
+            rng=self.config.seed if rng is None else rng,
+        )
+        # Replay the shuffle stream so a resumed run sees the same batch
+        # order it would have seen uninterrupted.
+        for _ in range(self.epochs_completed):
+            loader._rng.permutation(len(x_train))
+        for epoch in range(self.epochs_completed, self.config.epochs):
+            start = time.perf_counter()
+            train_loss = self.train_epoch(loader)
+            self.scheduler.step()
+            elapsed = time.perf_counter() - start
+
+            self.history.train_loss.append(train_loss)
+            self.history.learning_rate.append(self.optimizer.lr)
+            self.history.epoch_seconds.append(elapsed)
+            if x_val is not None and y_val is not None:
+                self.history.val_loss.append(self.evaluate(x_val, y_val))
+
+            if log_every and (epoch % log_every == 0 or epoch == self.config.epochs - 1):
+                val = f" val {self.history.val_loss[-1]:.4f}" if self.history.val_loss else ""
+                print(
+                    f"epoch {epoch:4d}  train {train_loss:.4f}{val}  "
+                    f"lr {self.optimizer.lr:.2e}  {elapsed:.2f}s"
+                )
+            if checkpoint_path is not None and checkpoint_every and (
+                (epoch + 1) % checkpoint_every == 0 or epoch == self.config.epochs - 1
+            ):
+                self.save_checkpoint(checkpoint_path)
+        return self.history

@@ -1,0 +1,82 @@
+"""Model persistence: save/load trained FNOs with their configs.
+
+The hybrid workflow treats a trained FNO as "a pre-trained ML model for
+decaying 2D turbulence" (paper Sec. VI-C); this module is the
+checkpoint format that makes the pre-trained model a reusable artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..data.normalization import FieldNormalizer
+from ..nn import Module
+from .config import ChannelFNOConfig, SpaceTimeFNOConfig, Spatial3DChannelsConfig
+from .models import build_model
+
+__all__ = ["save_model", "load_model"]
+
+_FORMAT_VERSION = 1
+
+_CONFIG_KINDS = {
+    "channel_fno": ChannelFNOConfig,
+    "spacetime_fno": SpaceTimeFNOConfig,
+    "spatial3d_channels": Spatial3DChannelsConfig,
+}
+
+
+def save_model(path, model: Module, config, normalizer: FieldNormalizer | None = None) -> None:
+    """Write model weights + config (+ optional normalizer) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header: dict = {"version": _FORMAT_VERSION, "config": config.to_dict()}
+    arrays: dict[str, np.ndarray] = {}
+    for name, value in model.state_dict().items():
+        arrays[f"param::{name}"] = value
+    if normalizer is not None:
+        state = normalizer.state_dict()
+        header["normalizer"] = {
+            "n_fields": state["n_fields"],
+            "isotropic": bool(state.get("isotropic", False)),
+        }
+        arrays["norm::mean"] = state["mean"]
+        arrays["norm::std"] = state["std"]
+    arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+def load_model(path, dtype=np.float64):
+    """Load ``(model, config, normalizer)`` saved by :func:`save_model`.
+
+    ``normalizer`` is None when none was stored.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"]).decode())
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {header.get('version')!r}")
+        cfg_dict = dict(header["config"])
+        kind = cfg_dict.pop("kind")
+        try:
+            config = _CONFIG_KINDS[kind](**cfg_dict)
+        except KeyError:
+            raise ValueError(f"unknown model kind {kind!r}") from None
+        model = build_model(config, rng=np.random.default_rng(0), dtype=dtype)
+        state = {
+            key[len("param::") :]: data[key] for key in data.files if key.startswith("param::")
+        }
+        model.load_state_dict(state)
+        normalizer = None
+        if "normalizer" in header:
+            normalizer = FieldNormalizer.from_state_dict(
+                {
+                    "n_fields": header["normalizer"]["n_fields"],
+                    "isotropic": header["normalizer"].get("isotropic", False),
+                    "mean": data["norm::mean"],
+                    "std": data["norm::std"],
+                }
+            )
+    return model, config, normalizer

@@ -1,0 +1,83 @@
+"""Initial-condition generators for 2-D decaying turbulence.
+
+The paper (Sec. III) initialises each of its 5000 simulations "with
+different uniformly distributed random numbers", producing several
+opposite vortices, then discards the first ``0.5 t_c`` so the sharp
+discontinuities vanish.  :func:`uniform_random_velocity` reproduces that
+recipe; :func:`band_limited_vorticity` is a smoother alternative (energy
+concentrated in a wavenumber ring) that needs little or no warm-up, used
+for fast tests and examples.
+
+Both return fields in physical units normalised so the RMS velocity is
+``u0`` — i.e. the convective time is exactly ``t_c = L / u0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ns.fields import rms_velocity, velocity_from_vorticity, vorticity_from_velocity, wavenumbers
+from ..utils.rng import as_generator
+
+__all__ = ["uniform_random_velocity", "band_limited_vorticity", "solenoidal_projection"]
+
+
+def solenoidal_projection(u: np.ndarray, length: float = 2.0 * np.pi) -> np.ndarray:
+    """Project a velocity field onto its divergence-free part.
+
+    Implemented via the vorticity: ``u_sol = curl⁻¹(curl u)``, which also
+    removes the mean flow (the k = 0 mode).
+    """
+    return velocity_from_vorticity(vorticity_from_velocity(u, length), length)
+
+
+def uniform_random_velocity(
+    n: int,
+    rng=None,
+    u0: float = 1.0,
+    length: float = 2.0 * np.pi,
+) -> np.ndarray:
+    """The paper's initial condition: i.i.d. uniform velocity components.
+
+    Each component is drawn from ``U(−1, 1)``, projected to be
+    divergence-free, and rescaled so the RMS speed is ``u0``.  The result
+    is rough (white spectrum) — callers should warm it up through the
+    solver (the paper uses ``0.5 t_c``) before sampling data.
+    """
+    rng = as_generator(rng)
+    u = rng.uniform(-1.0, 1.0, size=(2, n, n))
+    u = solenoidal_projection(u, length)
+    scale = u0 / max(rms_velocity(u), 1e-30)
+    return u * scale
+
+
+def band_limited_vorticity(
+    n: int,
+    rng=None,
+    k_peak: float = 6.0,
+    k_width: float = 2.0,
+    u0: float = 1.0,
+    length: float = 2.0 * np.pi,
+) -> np.ndarray:
+    """Smooth random vorticity with energy in a ring around ``k_peak``.
+
+    The spectrum is a Gaussian ring ``exp(−(|k|−k_peak)²/(2 k_width²))``
+    with uniformly random phases; the field is rescaled so the induced
+    velocity has RMS speed ``u0``.  Returns the vorticity field (n, n).
+    """
+    rng = as_generator(rng)
+    kx, ky, k2 = wavenumbers(n, length)
+    k_mag = np.sqrt(k2)
+    amplitude = np.exp(-0.5 * ((k_mag - k_peak) / k_width) ** 2)
+    amplitude[0, 0] = 0.0
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=amplitude.shape)
+    w_hat = amplitude * np.exp(1j * phases)
+    # Zero Nyquist rows/columns so spectral derivatives stay exact.
+    if n % 2 == 0:
+        w_hat[n // 2, :] = 0.0
+        w_hat[:, -1] = 0.0
+    omega = np.fft.irfft2(w_hat, s=(n, n))
+    omega -= omega.mean()
+    u = velocity_from_vorticity(omega, length)
+    scale = u0 / max(rms_velocity(u), 1e-30)
+    return omega * scale

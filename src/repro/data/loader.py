@@ -1,0 +1,63 @@
+"""Mini-batch iteration over (input, target) arrays."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..utils.rng import as_generator
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate ``(X, Y)`` mini-batches as :class:`Tensor` pairs.
+
+    Parameters
+    ----------
+    x, y:
+        Arrays whose first axis indexes examples.
+    batch_size:
+        Examples per batch (the final batch may be smaller unless
+        ``drop_last``).
+    shuffle:
+        Reshuffle example order every epoch.
+    rng:
+        Seed or Generator for the shuffle order.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int = 8,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng=None,
+    ):
+        if len(x) != len(y):
+            raise ValueError(f"x and y disagree on length: {len(x)} vs {len(y)}")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.x = x
+        self.y = y
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = as_generator(rng)
+
+    def __len__(self) -> int:
+        n = len(self.x)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[Tensor, Tensor]]:
+        n = len(self.x)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        limit = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, limit, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield Tensor(self.x[idx]), Tensor(self.y[idx])

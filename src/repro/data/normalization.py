@@ -1,0 +1,162 @@
+"""Field normalisation.
+
+Fig. 1 of the paper compares raw and normalised vorticity statistics; the
+FNO models are trained on normalised fields.  Two flavours:
+
+* :class:`UnitGaussianNormalizer` — per-channel scalar mean/std computed
+  over the training set (resolution independent).
+* ``mode="pointwise"`` — per-grid-point mean/std, the convention of the
+  original FNO reference code.
+* :func:`normalize_by_initial` — the paper's Fig. 1 normalisation: scale
+  each *trajectory* by its own t = 0 mean and standard deviation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UnitGaussianNormalizer", "FieldNormalizer", "normalize_by_initial"]
+
+
+class UnitGaussianNormalizer:
+    """Shift–scale normaliser fit on a data array.
+
+    Parameters
+    ----------
+    mode:
+        ``"channel"`` (default) reduces over everything except axis 1;
+        ``"pointwise"`` reduces over axis 0 only (per grid point, per
+        channel).
+    eps:
+        Standard-deviation floor.
+    """
+
+    def __init__(self, mode: str = "channel", eps: float = 1e-8):
+        if mode not in ("channel", "pointwise"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.mode = mode
+        self.eps = float(eps)
+        self.mean: np.ndarray | None = None
+        self.std: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "UnitGaussianNormalizer":
+        """Compute statistics from ``(N, C, ...)`` training data."""
+        if data.ndim < 2:
+            raise ValueError("expected at least (N, C) data")
+        if self.mode == "channel":
+            axes = (0,) + tuple(range(2, data.ndim))
+            self.mean = data.mean(axis=axes, keepdims=True)[0]
+            self.std = data.std(axis=axes, keepdims=True)[0]
+        else:
+            self.mean = data.mean(axis=0)
+            self.std = data.std(axis=0)
+        self.std = np.maximum(self.std, self.eps)
+        return self
+
+    def _check(self) -> None:
+        if self.mean is None:
+            raise RuntimeError("normalizer not fitted; call fit() first")
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        self._check()
+        return (data - self.mean) / self.std
+
+    def decode(self, data: np.ndarray) -> np.ndarray:
+        self._check()
+        return data * self.std + self.mean
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray | str]:
+        self._check()
+        return {"mode": self.mode, "mean": self.mean, "std": self.std}
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "UnitGaussianNormalizer":
+        out = cls(mode=str(state["mode"]))
+        out.mean = np.asarray(state["mean"])
+        out.std = np.asarray(state["std"])
+        return out
+
+
+class FieldNormalizer:
+    """Per-*field* normaliser for temporal-channel layouts.
+
+    The channel axis of a temporal-channel tensor holds ``n_snap``
+    snapshots of ``n_fields`` components each (snapshot-major).  This
+    normaliser keeps one (mean, std) pair per field component, so the same
+    instance encodes inputs with ``n_in`` snapshots and decodes outputs
+    with ``n_out`` snapshots.
+
+    ``isotropic=True`` shares one standard deviation across all field
+    components (means stay per-field).  Required when the model output is
+    architecturally divergence-free: a per-component rescale would break
+    solenoidality on decode, a shared scale (plus constants) preserves it.
+    """
+
+    def __init__(self, n_fields: int = 2, eps: float = 1e-8, isotropic: bool = False):
+        if n_fields < 1:
+            raise ValueError("n_fields must be >= 1")
+        self.n_fields = int(n_fields)
+        self.eps = float(eps)
+        self.isotropic = bool(isotropic)
+        self.mean: np.ndarray | None = None  # (n_fields,)
+        self.std: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "FieldNormalizer":
+        """Fit on ``(N, n_snap·n_fields, ...)`` data."""
+        if data.ndim < 2 or data.shape[1] % self.n_fields != 0:
+            raise ValueError(
+                f"channel axis {data.shape[1]} not divisible by n_fields {self.n_fields}"
+            )
+        n_snap = data.shape[1] // self.n_fields
+        per_field = data.reshape(data.shape[0], n_snap, self.n_fields, -1)
+        self.mean = per_field.mean(axis=(0, 1, 3))
+        self.std = np.maximum(per_field.std(axis=(0, 1, 3)), self.eps)
+        if self.isotropic:
+            self.std = np.full_like(self.std, float(np.sqrt(np.mean(self.std**2))))
+        return self
+
+    def _broadcast(self, stat: np.ndarray, data: np.ndarray) -> np.ndarray:
+        n_snap = data.shape[1] // self.n_fields
+        tiled = np.tile(stat, n_snap)
+        return tiled.reshape((1, data.shape[1]) + (1,) * (data.ndim - 2))
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        if self.mean is None:
+            raise RuntimeError("normalizer not fitted; call fit() first")
+        if data.shape[1] % self.n_fields != 0:
+            raise ValueError("channel axis not divisible by n_fields")
+        return (data - self._broadcast(self.mean, data)) / self._broadcast(self.std, data)
+
+    def decode(self, data: np.ndarray) -> np.ndarray:
+        if self.mean is None:
+            raise RuntimeError("normalizer not fitted; call fit() first")
+        if data.shape[1] % self.n_fields != 0:
+            raise ValueError("channel axis not divisible by n_fields")
+        return data * self._broadcast(self.std, data) + self._broadcast(self.mean, data)
+
+    def state_dict(self) -> dict:
+        if self.mean is None:
+            raise RuntimeError("normalizer not fitted")
+        return {"n_fields": self.n_fields, "mean": self.mean, "std": self.std,
+                "isotropic": self.isotropic}
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "FieldNormalizer":
+        out = cls(n_fields=int(state["n_fields"]), isotropic=bool(state.get("isotropic", False)))
+        out.mean = np.asarray(state["mean"])
+        out.std = np.asarray(state["std"])
+        return out
+
+
+def normalize_by_initial(trajectory: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Scale a trajectory ``(T, ...)`` by its own t = 0 statistics.
+
+    Returns ``(x − mean₀) / std₀`` where mean₀/std₀ are computed over the
+    first snapshot — the normalisation used in the right column of the
+    paper's Fig. 1.
+    """
+    first = trajectory[0]
+    mean0 = float(first.mean())
+    std0 = float(first.std())
+    return (trajectory - mean0) / max(std0, eps)

@@ -1,0 +1,14 @@
+"""Entropic lattice Boltzmann method (D2Q9) — the paper's data generator."""
+
+from .collision import MRT_MATRIX, bgk_collide, entropic_collide, h_function, mrt_collide, solve_alpha
+from .equilibrium import entropic_equilibrium, polynomial_equilibrium
+from .lattice import CS2, OPPOSITE, Q, VELOCITIES, WEIGHTS
+from .solver import LBMSolver2D
+from .units import UnitSystem
+
+__all__ = [
+    "LBMSolver2D", "UnitSystem",
+    "polynomial_equilibrium", "entropic_equilibrium",
+    "bgk_collide", "entropic_collide", "mrt_collide", "MRT_MATRIX", "h_function", "solve_alpha",
+    "Q", "VELOCITIES", "WEIGHTS", "CS2", "OPPOSITE",
+]

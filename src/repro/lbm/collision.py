@@ -1,0 +1,176 @@
+"""Collision operators: BGK and entropic (adaptive α).
+
+The entropic collision writes the post-collision state as
+
+    f' = f + α β (f_eq − f),      β = 1 / (2τ)
+
+where the path length ``α`` is the non-trivial root of the entropy
+condition ``H(f + αΔ) = H(f)`` with ``Δ = f_eq − f`` and
+``H(f) = Σ_i f_i ln(f_i / w_i)``.  For well-resolved flows ``α ≈ 2``
+(recovering BGK); near under-resolved gradients ``α < 2`` acts as a
+smart, parameter-free limiter — this is what lets the entropic model run
+stably at the paper's Re ≈ 7000–8000.
+
+``solve_alpha`` performs a vectorised, damped Newton iteration over the
+whole grid with positivity-aware bracketing; cells where the deviation
+from equilibrium is negligible keep the BGK value ``α = 2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lattice import WEIGHTS
+
+__all__ = ["h_function", "solve_alpha", "bgk_collide", "entropic_collide", "mrt_collide", "MRT_MATRIX"]
+
+_W = WEIGHTS[:, None, None]
+
+
+def h_function(f: np.ndarray) -> np.ndarray:
+    """Discrete H-function ``Σ_i f_i ln(f_i/w_i)`` per cell (shape (n, n))."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        vals = f * np.log(f / _W)
+    return np.where(f > 0, vals, 0.0).sum(axis=0)
+
+
+def _h_and_derivative(f: np.ndarray, delta: np.ndarray, alpha: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``G(α) = H(f + αΔ) − H(f)`` and ``G'(α)``, elementwise over cells."""
+    fa = f + alpha[None] * delta
+    fa = np.maximum(fa, 1e-15)
+    log_term = np.log(fa / _W)
+    g = (fa * log_term).sum(axis=0) - (np.maximum(f, 1e-15) * np.log(np.maximum(f, 1e-15) / _W)).sum(axis=0)
+    gp = (delta * (log_term + 1.0)).sum(axis=0)
+    return g, gp
+
+
+def solve_alpha(
+    f: np.ndarray,
+    feq: np.ndarray,
+    tol: float = 1e-10,
+    max_iter: int = 20,
+    alpha_init: float = 2.0,
+) -> np.ndarray:
+    """Solve the entropy condition for the path length ``α`` per cell.
+
+    Returns an array of shape ``(n, n)``; cells essentially at
+    equilibrium get ``α = 2`` (the BGK fixed point of the condition).
+    """
+    delta = feq - f
+    n_shape = f.shape[1:]
+    alpha = np.full(n_shape, float(alpha_init))
+
+    # Positivity bound: f + αΔ must stay positive.  α_max is the largest
+    # admissible step (cells with all Δ ≥ 0 are unbounded).
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = np.where(delta < 0, -f / np.where(delta < 0, delta, -1.0), np.inf)
+    alpha_max = 0.999 * ratios.min(axis=0)
+    alpha = np.minimum(alpha, np.where(np.isfinite(alpha_max), alpha_max, alpha))
+
+    # Cells with negligible deviation keep α = 2: Newton would divide by ~0.
+    dev = np.abs(delta).max(axis=0) / np.maximum(np.abs(feq).max(axis=0), 1e-15)
+    active = dev > 1e-12
+
+    # The path H(f + αΔ) has its minimum at α = 1 (the equilibrium), so the
+    # non-trivial root of G(α) = 0 always lies in (1, α_max]; clamping the
+    # Newton iterate into that bracket prevents convergence to the trivial
+    # root at α = 0.
+    lo = 1.0 + 1e-9
+    hi = np.where(np.isfinite(alpha_max), np.maximum(alpha_max, lo), 4.0)
+    for _ in range(max_iter):
+        g, gp = _h_and_derivative(f, delta, alpha)
+        step = g / np.where(np.abs(gp) > 1e-15, gp, 1.0)
+        new_alpha = np.clip(alpha - step, lo, hi)
+        converged = np.abs(g) < tol
+        update = active & ~converged
+        alpha = np.where(update, new_alpha, alpha)
+        if not update.any():
+            break
+
+    alpha = np.where(active, alpha, 2.0)
+    return alpha
+
+
+def bgk_collide(f: np.ndarray, feq: np.ndarray, tau: float) -> np.ndarray:
+    """Single-relaxation-time BGK collision ``f + (f_eq − f)/τ``."""
+    return f + (feq - f) / tau
+
+
+def entropic_collide(f: np.ndarray, feq: np.ndarray, tau: float) -> tuple[np.ndarray, np.ndarray]:
+    """Entropic collision; returns ``(f', α)`` for diagnostics."""
+    beta = 1.0 / (2.0 * tau)
+    alpha = solve_alpha(f, feq)
+    return f + (alpha * beta)[None] * (feq - f), alpha
+
+
+# ---------------------------------------------------------------------------
+# Multiple-relaxation-time collision (d'Humières; Lallemand & Luo 2000)
+# ---------------------------------------------------------------------------
+
+#: Gram–Schmidt moment basis for the D2Q9 velocity ordering of
+#: :mod:`repro.lbm.lattice`: (ρ, e, ε, j_x, q_x, j_y, q_y, p_xx, p_xy).
+MRT_MATRIX = np.array(
+    [
+        [1, 1, 1, 1, 1, 1, 1, 1, 1],
+        [-4, -1, -1, -1, -1, 2, 2, 2, 2],
+        [4, -2, -2, -2, -2, 1, 1, 1, 1],
+        [0, 1, 0, -1, 0, 1, -1, -1, 1],
+        [0, -2, 0, 2, 0, 1, -1, -1, 1],
+        [0, 0, 1, 0, -1, 1, 1, -1, -1],
+        [0, 0, -2, 0, 2, 1, 1, -1, -1],
+        [0, 1, -1, 1, -1, 0, 0, 0, 0],
+        [0, 0, 0, 0, 0, 1, -1, 1, -1],
+    ],
+    dtype=float,
+)
+
+_MRT_INVERSE = np.linalg.inv(MRT_MATRIX)
+
+
+def _mrt_equilibrium_moments(rho: np.ndarray, jx: np.ndarray, jy: np.ndarray) -> np.ndarray:
+    """Equilibrium moments of the Lallemand–Luo model (shape (9, n, n))."""
+    jsq = (jx * jx + jy * jy) / np.maximum(rho, 1e-15)
+    return np.stack(
+        [
+            rho,
+            -2.0 * rho + 3.0 * jsq,
+            rho - 3.0 * jsq,
+            jx,
+            -jx,
+            jy,
+            -jy,
+            (jx * jx - jy * jy) / np.maximum(rho, 1e-15),
+            jx * jy / np.maximum(rho, 1e-15),
+        ]
+    )
+
+
+def mrt_collide(
+    f: np.ndarray,
+    tau: float,
+    s_e: float = 1.1,
+    s_eps: float = 1.1,
+    s_q: float = 1.2,
+) -> np.ndarray:
+    """Multiple-relaxation-time collision.
+
+    The stress moments ``p_xx``/``p_xy`` relax at ``1/τ`` (setting the
+    shear viscosity exactly as in BGK); the non-hydrodynamic moments
+    relax at tunable rates ``s_e``/``s_eps``/``s_q``, which damps the
+    ghost modes that destabilise BGK near ``τ → 1/2``.  Conserved moments
+    (ρ, j) have rate 0.  With all rates set to ``1/τ`` MRT reduces to BGK
+    exactly.
+    """
+    from .lattice import VELOCITIES
+
+    s_nu = 1.0 / tau
+    rates = np.array([0.0, s_e, s_eps, 0.0, s_q, 0.0, s_q, s_nu, s_nu])
+
+    rho = f.sum(axis=0)
+    jx = np.tensordot(VELOCITIES[:, 0].astype(float), f, axes=(0, 0))
+    jy = np.tensordot(VELOCITIES[:, 1].astype(float), f, axes=(0, 0))
+
+    m = np.tensordot(MRT_MATRIX, f, axes=(1, 0))
+    m_eq = _mrt_equilibrium_moments(rho, jx, jy)
+    m -= rates[:, None, None] * (m - m_eq)
+    return np.tensordot(_MRT_INVERSE, m, axes=(1, 0))

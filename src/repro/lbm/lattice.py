@@ -1,0 +1,46 @@
+"""D2Q9 lattice constants.
+
+Velocity set (lattice units, one cell per step)::
+
+    6 2 5
+    3 0 1
+    7 4 8
+
+with the standard weights ``w = (4/9, 1/9×4, 1/36×4)`` and lattice sound
+speed ``c_s² = 1/3``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Q", "VELOCITIES", "WEIGHTS", "CS2", "OPPOSITE"]
+
+Q = 9
+
+#: Discrete velocities ``(Q, 2)``, components in {-1, 0, 1}.
+VELOCITIES = np.array(
+    [
+        [0, 0],
+        [1, 0],
+        [0, 1],
+        [-1, 0],
+        [0, -1],
+        [1, 1],
+        [-1, 1],
+        [-1, -1],
+        [1, -1],
+    ],
+    dtype=int,
+)
+
+#: Quadrature weights, summing to 1.
+WEIGHTS = np.array(
+    [4.0 / 9.0] + [1.0 / 9.0] * 4 + [1.0 / 36.0] * 4
+)
+
+#: Lattice sound speed squared.
+CS2 = 1.0 / 3.0
+
+#: Index of the opposite velocity (bounce-back pairs).
+OPPOSITE = np.array([0, 3, 4, 1, 2, 7, 8, 5, 6], dtype=int)

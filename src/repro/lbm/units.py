@@ -1,0 +1,113 @@
+"""Unit conversion between lattice and physical (convective) units.
+
+The paper reports everything in convective time units ``t_c = L/U0``.
+The lattice works in cell/step units with a small characteristic velocity
+``u0_lattice`` (to keep the Mach number low).  This module holds the
+bookkeeping that maps between the two systems.
+
+With ``N`` cells per side, physical box ``L``, physical characteristic
+velocity ``U0`` and Reynolds number ``Re = U0 L / ν``:
+
+* velocity scale     ``C_u = U0 / u0_lattice``
+* length scale       ``C_x = L / N``
+* time scale         ``C_t = C_x / C_u``
+* lattice viscosity  ``ν_lat = u0_lattice · N / Re``  → ``τ = ν_lat/c_s² + 1/2``
+* steps per ``t_c``  ``N / u0_lattice``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .lattice import CS2
+
+__all__ = ["UnitSystem"]
+
+
+@dataclass(frozen=True)
+class UnitSystem:
+    """Lattice ↔ physical unit bookkeeping for one simulation setup.
+
+    Parameters
+    ----------
+    n:
+        Grid points per side.
+    reynolds:
+        Target Reynolds number ``U0 L / ν``.
+    length:
+        Physical box size (default ``2π``).
+    u0:
+        Physical characteristic (RMS) velocity (default 1.0, so
+        ``t_c = L``).
+    u0_lattice:
+        Characteristic lattice velocity; must be well below the lattice
+        sound speed ``√(1/3) ≈ 0.577`` (default 0.05 ⇒ Ma ≈ 0.087).
+    """
+
+    n: int
+    reynolds: float
+    length: float = 2.0 * np.pi
+    u0: float = 1.0
+    u0_lattice: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.u0_lattice >= np.sqrt(CS2):
+            raise ValueError("u0_lattice must be below the lattice sound speed")
+        if self.reynolds <= 0:
+            raise ValueError("Reynolds number must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def velocity_scale(self) -> float:
+        """Physical velocity per unit lattice velocity."""
+        return self.u0 / self.u0_lattice
+
+    @property
+    def length_scale(self) -> float:
+        """Physical length per lattice cell."""
+        return self.length / self.n
+
+    @property
+    def time_scale(self) -> float:
+        """Physical time per lattice step."""
+        return self.length_scale / self.velocity_scale
+
+    @property
+    def viscosity_lattice(self) -> float:
+        return self.u0_lattice * self.n / self.reynolds
+
+    @property
+    def viscosity_physical(self) -> float:
+        return self.u0 * self.length / self.reynolds
+
+    @property
+    def tau(self) -> float:
+        """LBM relaxation time ``τ = ν_lat/c_s² + 1/2``."""
+        return self.viscosity_lattice / CS2 + 0.5
+
+    @property
+    def convective_time(self) -> float:
+        """``t_c = L / U0`` in physical units."""
+        return self.length / self.u0
+
+    @property
+    def steps_per_convective_time(self) -> float:
+        """Lattice steps per ``t_c``."""
+        return self.convective_time / self.time_scale
+
+    # ------------------------------------------------------------------
+    def to_lattice_velocity(self, u_phys: np.ndarray) -> np.ndarray:
+        return np.asarray(u_phys) / self.velocity_scale
+
+    def to_physical_velocity(self, u_lat: np.ndarray) -> np.ndarray:
+        return np.asarray(u_lat) * self.velocity_scale
+
+    def to_physical_vorticity(self, omega_lat: np.ndarray) -> np.ndarray:
+        """Vorticity scales inversely with time."""
+        return np.asarray(omega_lat) / self.time_scale
+
+    def steps_for_time(self, t_phys: float) -> int:
+        """Lattice steps covering ``t_phys`` (rounded to nearest)."""
+        return int(round(t_phys / self.time_scale))

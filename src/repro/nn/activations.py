@@ -1,0 +1,44 @@
+"""Activation modules (thin wrappers over the tensor ops)."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor, ops
+from .module import Module
+
+__all__ = ["GELU", "ReLU", "Tanh", "Sigmoid", "Identity", "get_activation"]
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.gelu(x)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.tanh(x)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.sigmoid(x)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+_ACTIVATIONS = {"gelu": GELU, "relu": ReLU, "tanh": Tanh, "sigmoid": Sigmoid, "identity": Identity}
+
+
+def get_activation(name: str) -> Module:
+    """Build an activation module from its lowercase name."""
+    try:
+        return _ACTIVATIONS[name.lower()]()
+    except KeyError:
+        raise ValueError(f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}") from None

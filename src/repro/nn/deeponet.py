@@ -1,0 +1,122 @@
+"""DeepONet baseline (Lu et al. 2021), discussed in paper Sec. II.
+
+The deep operator network encodes the input function with a *branch* MLP
+and the output query location with a *trunk* MLP; the prediction at a
+query point is the inner product of the two feature vectors.  This is
+the "unstacked" DeepONet, vectorised over a full output grid:
+
+    u_out(c, x) = Σ_k  branch_k^{(c)}(u_in)  ·  trunk_k(x)  +  b_c
+
+Included as the baseline operator family for the turbulence one-window
+task — its branch consumes a *fixed-size* flattened grid, so unlike the
+FNO it is locked to the training resolution (a known limitation the
+comparison benchmark documents).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from .linear import Linear
+from .module import Module, ModuleList, Parameter
+
+__all__ = ["DeepONet2d"]
+
+
+def _mlp_layers(sizes: list[int], rng, dtype) -> ModuleList:
+    return ModuleList(
+        Linear(sizes[i], sizes[i + 1], rng=rng, dtype=dtype) for i in range(len(sizes) - 1)
+    )
+
+
+def _run_mlp(layers: ModuleList, x: Tensor) -> Tensor:
+    for i, layer in enumerate(layers):
+        x = layer(x)
+        if i < len(layers) - 1:
+            x = ops.tanh(x)
+    return x
+
+
+class DeepONet2d(Module):
+    """DeepONet for grid-to-grid maps on a periodic square.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Field channels of the input/output grids.
+    grid_size:
+        Training grid side length ``n`` (the branch is locked to it).
+    n_basis:
+        Number of branch/trunk basis functions ``p``.
+    branch_hidden, trunk_hidden:
+        Hidden widths (each applied twice).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        grid_size: int,
+        n_basis: int = 64,
+        branch_hidden: int = 128,
+        trunk_hidden: int = 128,
+        rng: np.random.Generator | None = None,
+        dtype=np.float64,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.grid_size = int(grid_size)
+        self.n_basis = int(n_basis)
+        self.dtype = np.dtype(dtype)
+
+        in_dim = in_channels * grid_size * grid_size
+        self.branch = _mlp_layers(
+            [in_dim, branch_hidden, branch_hidden, n_basis * out_channels], rng, dtype
+        )
+        # Trunk input: sin/cos embedding of the two periodic coordinates.
+        self.trunk = _mlp_layers([4, trunk_hidden, trunk_hidden, n_basis], rng, dtype)
+        self.bias = Parameter(np.zeros(out_channels, dtype=dtype))
+        self._trunk_cache: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def _query_features(self, n: int) -> np.ndarray:
+        """Periodic coordinate embedding ``(n², 4)`` for an n×n grid."""
+        if n not in self._trunk_cache:
+            coords = np.linspace(0.0, 2.0 * np.pi, n, endpoint=False, dtype=self.dtype)
+            X, Y = np.meshgrid(coords, coords, indexing="ij")
+            feats = np.stack(
+                [np.sin(X), np.cos(X), np.sin(Y), np.cos(Y)], axis=-1
+            ).reshape(n * n, 4)
+            self._trunk_cache[n] = feats
+        return self._trunk_cache[n]
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Map ``(B, in_channels, n, n)`` to ``(B, out_channels, n, n)``.
+
+        The branch requires ``n == grid_size``; the trunk itself would
+        accept any query grid (the resolution lock is the branch's).
+        """
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x, dtype=self.dtype))
+        B, C, n1, n2 = x.shape
+        if C != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {C}")
+        if n1 != self.grid_size or n2 != self.grid_size:
+            raise ValueError(
+                f"DeepONet branch is locked to its training grid "
+                f"{self.grid_size}²; got {n1}×{n2}"
+            )
+
+        flat = ops.reshape(x, (B, C * n1 * n2))
+        branch_out = _run_mlp(self.branch, flat)  # (B, p*C_out)
+        branch_out = ops.reshape(branch_out, (B, self.out_channels, self.n_basis))
+
+        trunk_in = Tensor(self._query_features(n1))
+        trunk_out = _run_mlp(self.trunk, trunk_in)  # (n², p)
+
+        out = ops.einsum("bcp,qp->bcq", branch_out, trunk_out)
+        out = out + ops.reshape(self.bias, (1, self.out_channels, 1))
+        return ops.reshape(out, (B, self.out_channels, n1, n2))

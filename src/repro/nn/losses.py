@@ -1,0 +1,107 @@
+"""Training losses.
+
+* :class:`LpLoss` — relative Lp norm, the standard FNO training loss and
+  the error metric reported throughout the paper.
+* :class:`MSELoss` — plain mean squared error.
+* :class:`H1Loss` — Sobolev loss that also penalises first-derivative
+  (periodic central-difference) mismatch.  Implements the paper's
+  future-work remark that the enstrophy error grows because "the model
+  lacks any explicit mechanism to learn gradients".
+* :class:`DivergenceLoss` — adds a ``‖∇·u‖²`` penalty; the paper observes
+  FNO predictions are not divergence-free because incompressibility was
+  not incorporated in the loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from .module import Module
+
+__all__ = ["LpLoss", "MSELoss", "H1Loss", "DivergenceLoss"]
+
+
+def _flatten_per_sample(x: Tensor) -> Tensor:
+    return ops.reshape(x, (x.shape[0], -1))
+
+
+class LpLoss(Module):
+    """Relative Lp loss averaged over the batch.
+
+    ``loss = mean_b ( ||pred_b - true_b||_p / ||true_b||_p )``
+
+    Only ``p = 2`` is differentiable end-to-end here (the paper uses
+    relative L2 exclusively).
+    """
+
+    def __init__(self, p: int = 2, eps: float = 1e-12):
+        super().__init__()
+        if p != 2:
+            raise NotImplementedError("only p=2 is supported")
+        self.p = p
+        self.eps = eps
+
+    def forward(self, pred: Tensor, true: Tensor) -> Tensor:
+        diff = _flatten_per_sample(pred - true)
+        ref = _flatten_per_sample(true)
+        num = ops.sqrt(ops.sum_(ops.square(diff), axis=1) + self.eps)
+        den = ops.sqrt(ops.sum_(ops.square(ref), axis=1) + self.eps)
+        return ops.mean(num / den)
+
+
+class MSELoss(Module):
+    def forward(self, pred: Tensor, true: Tensor) -> Tensor:
+        return ops.mean(ops.square(pred - true))
+
+
+def _central_diff(x: Tensor, axis: int) -> Tensor:
+    """Periodic central difference along ``axis`` (unit grid spacing)."""
+    return (ops.roll(x, -1, axis) - ops.roll(x, 1, axis)) * 0.5
+
+
+class H1Loss(Module):
+    """Relative H1 (Sobolev) loss on fields over the trailing two axes.
+
+    ``loss = rel_L2(pred, true) + weight * rel_L2(∇pred, ∇true)`` with the
+    gradient taken by periodic central differences over the last two
+    (spatial) axes.
+    """
+
+    def __init__(self, weight: float = 1.0, eps: float = 1e-12):
+        super().__init__()
+        self.weight = float(weight)
+        self.eps = eps
+        self._l2 = LpLoss(eps=eps)
+
+    def forward(self, pred: Tensor, true: Tensor) -> Tensor:
+        loss = self._l2(pred, true)
+        for axis in (-2, -1):
+            loss = loss + self.weight * self._l2(_central_diff(pred, axis), _central_diff(true, axis))
+        return loss
+
+
+class DivergenceLoss(Module):
+    """Relative L2 plus an incompressibility penalty.
+
+    Expects predictions whose channel axis interleaves velocity components
+    as ``(..., 2k, ...) = u_x`` and ``(..., 2k+1, ...) = u_y`` for each
+    predicted snapshot ``k``; the penalty is the mean square of
+    ``∂u_x/∂x + ∂u_y/∂y`` computed with periodic central differences.
+    """
+
+    def __init__(self, weight: float = 0.1, eps: float = 1e-12):
+        super().__init__()
+        self.weight = float(weight)
+        self._l2 = LpLoss(eps=eps)
+
+    def divergence(self, pred: Tensor) -> Tensor:
+        """Pointwise divergence per snapshot, shape ``(B, n_snap, n1, n2)``."""
+        if pred.shape[1] % 2 != 0:
+            raise ValueError("channel axis must hold (u_x, u_y) pairs")
+        ux = pred[:, 0::2]
+        uy = pred[:, 1::2]
+        return _central_diff(ux, -2) + _central_diff(uy, -1)
+
+    def forward(self, pred: Tensor, true: Tensor) -> Tensor:
+        return self._l2(pred, true) + self.weight * ops.mean(ops.square(self.divergence(pred)))

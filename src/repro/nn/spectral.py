@@ -1,0 +1,147 @@
+"""Spectral convolution modules — the Fourier layers of the FNO.
+
+Complex mode weights are stored as separate real/imaginary
+:class:`Parameter` arrays (the autograd engine is real-valued); the fused
+forward/backward lives in :mod:`repro.tensor.fft_ops`.
+
+Initialisation follows the reference ``neuraloperator`` implementation:
+``scale * U[0, 1)`` with ``scale = 1 / (in_channels * out_channels)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import (
+    Tensor,
+    solenoidal_projection_2d,
+    spectral_conv1d,
+    spectral_conv2d,
+    spectral_conv3d,
+)
+from .module import Module, Parameter
+
+__all__ = ["SpectralConv1d", "SpectralConv2d", "SpectralConv3d", "SolenoidalProjection2d"]
+
+
+class SpectralConv1d(Module):
+    """1-D Fourier layer: rFFT → truncate → mode-mix → irFFT.
+
+    For 1-D operator-learning problems (the canonical Burgers benchmark
+    of the original FNO paper).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        modes: int,
+        rng: np.random.Generator | None = None,
+        dtype=np.float64,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.modes = int(modes)
+        scale = 1.0 / (in_channels * out_channels)
+        shape = (in_channels, out_channels, self.modes)
+        self.weight_real = Parameter((scale * rng.random(shape)).astype(dtype))
+        self.weight_imag = Parameter((scale * rng.random(shape)).astype(dtype))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return spectral_conv1d(x, self.weight_real, self.weight_imag, self.modes)
+
+
+class SolenoidalProjection2d(Module):
+    """Parameter-free layer projecting velocity pairs divergence-free.
+
+    Addresses the paper's Fig.-8 observation that raw FNO predictions are
+    not divergence-free: appending this layer makes incompressibility an
+    architectural guarantee rather than a loss-term suggestion.  Expects
+    the temporal-channel layout (channel axis = snapshots × (u_x, u_y)).
+    """
+
+    def __init__(self, length: float = 2.0 * np.pi):
+        super().__init__()
+        self.length = float(length)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return solenoidal_projection_2d(x, self.length)
+
+
+class SpectralConv2d(Module):
+    """2-D Fourier layer: rFFT → truncate to low modes → mode-mix → irFFT.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts of the mixed feature maps.
+    modes1, modes2:
+        Retained Fourier modes along the two spatial axes.  ``modes1``
+        counts both sign blocks of the full first axis (the layer keeps
+        ``k1 ∈ [0, modes1) ∪ (-modes1, 0]``); ``modes2`` counts bins of
+        the half spectrum along the second axis.
+    """
+
+    n_blocks = 2
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        modes1: int,
+        modes2: int,
+        rng: np.random.Generator | None = None,
+        dtype=np.float64,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.modes1 = int(modes1)
+        self.modes2 = int(modes2)
+        scale = 1.0 / (in_channels * out_channels)
+        shape = (self.n_blocks, in_channels, out_channels, self.modes1, self.modes2)
+        self.weight_real = Parameter((scale * rng.random(shape)).astype(dtype))
+        self.weight_imag = Parameter((scale * rng.random(shape)).astype(dtype))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return spectral_conv2d(x, self.weight_real, self.weight_imag, self.modes1, self.modes2)
+
+
+class SpectralConv3d(Module):
+    """3-D Fourier layer over two space axes plus one time axis.
+
+    ``modes1``/``modes2`` count both sign blocks of the two full axes;
+    ``modes3`` counts half-spectrum bins of the last (time) axis.
+    """
+
+    n_blocks = 4
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        modes1: int,
+        modes2: int,
+        modes3: int,
+        rng: np.random.Generator | None = None,
+        dtype=np.float64,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.modes1 = int(modes1)
+        self.modes2 = int(modes2)
+        self.modes3 = int(modes3)
+        scale = 1.0 / (in_channels * out_channels)
+        shape = (self.n_blocks, in_channels, out_channels, self.modes1, self.modes2, self.modes3)
+        self.weight_real = Parameter((scale * rng.random(shape)).astype(dtype))
+        self.weight_imag = Parameter((scale * rng.random(shape)).astype(dtype))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return spectral_conv3d(
+            x, self.weight_real, self.weight_imag, self.modes1, self.modes2, self.modes3
+        )

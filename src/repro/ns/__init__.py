@@ -1,0 +1,34 @@
+"""2-D incompressible Navier–Stokes solvers (periodic, vorticity form)."""
+
+from .base import NSSolverBase
+from .burgers import BurgersSolver1D, random_initial_condition_1d
+from .fd_solver import FDNSSolver2D
+from .fields import (
+    derivative_wavenumbers,
+    divergence,
+    enstrophy,
+    kinetic_energy,
+    palinstrophy,
+    rms_velocity,
+    streamfunction_from_vorticity,
+    velocity_from_vorticity,
+    vorticity_from_velocity,
+    wavenumbers,
+)
+from .forcing import (
+    CompositeForcing,
+    Forcing,
+    KolmogorovForcing,
+    LinearDrag,
+    RingForcing,
+)
+from .spectral_solver import SpectralNSSolver2D
+
+__all__ = [
+    "NSSolverBase", "SpectralNSSolver2D", "FDNSSolver2D",
+    "BurgersSolver1D", "random_initial_condition_1d",
+    "Forcing", "KolmogorovForcing", "RingForcing", "LinearDrag", "CompositeForcing",
+    "wavenumbers", "derivative_wavenumbers", "velocity_from_vorticity", "vorticity_from_velocity",
+    "streamfunction_from_vorticity", "divergence", "kinetic_energy",
+    "enstrophy", "palinstrophy", "rms_velocity",
+]

@@ -1,0 +1,170 @@
+"""Common interface for the 2-D incompressible Navier–Stokes solvers.
+
+Both the pseudo-spectral and the finite-difference solver march the
+vorticity equation
+
+    ∂ω/∂t + u·∇ω = ν ∇²ω          (decaying: no forcing)
+
+on a periodic square.  State is the vorticity field; velocity is derived
+through the streamfunction.  The hybrid FNO–PDE driver and the dataset
+generator only touch this interface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .fields import (
+    divergence,
+    enstrophy,
+    kinetic_energy,
+    rms_velocity,
+    velocity_from_vorticity,
+    vorticity_from_velocity,
+)
+
+__all__ = ["NSSolverBase"]
+
+
+class NSSolverBase:
+    """Abstract base: periodic 2-D decaying-turbulence integrator.
+
+    Parameters
+    ----------
+    n:
+        Grid points per side.
+    viscosity:
+        Kinematic viscosity ν.
+    length:
+        Domain side length ``L`` (default ``2π``).
+    dt:
+        Time step; if None, subclasses pick a stable default from a CFL
+        estimate at :meth:`set_velocity` time.
+    """
+
+    def __init__(self, n: int, viscosity: float, length: float = 2.0 * np.pi, dt: float | None = None):
+        if n < 4:
+            raise ValueError("grid too small")
+        if viscosity <= 0:
+            raise ValueError("viscosity must be positive")
+        self.n = int(n)
+        self.viscosity = float(viscosity)
+        self.length = float(length)
+        self.dt = dt
+        self.time = 0.0
+        self._omega = np.zeros((n, n))
+
+    # ------------------------------------------------------------------
+    # state access
+    # ------------------------------------------------------------------
+    @property
+    def vorticity(self) -> np.ndarray:
+        """Current vorticity field ``(n, n)`` (copy)."""
+        return self._omega.copy()
+
+    @property
+    def velocity(self) -> np.ndarray:
+        """Current velocity field ``(2, n, n)`` derived from vorticity."""
+        return velocity_from_vorticity(self._omega, self.length)
+
+    def set_vorticity(self, omega: np.ndarray, reset_time: bool = False) -> None:
+        omega = np.asarray(omega, dtype=float)
+        if omega.shape != (self.n, self.n):
+            raise ValueError(f"expected shape {(self.n, self.n)}, got {omega.shape}")
+        self._omega = omega.copy()
+        if reset_time:
+            self.time = 0.0
+        self._on_state_change()
+
+    def set_velocity(self, u: np.ndarray, reset_time: bool = False) -> None:
+        """Set state from a velocity field (projected through the curl).
+
+        Any divergent component of ``u`` is discarded — the solver state
+        is vorticity, so only the solenoidal part survives.  This is the
+        mechanism by which PDE windows of the hybrid scheme pull FNO
+        predictions back onto the divergence-free manifold.
+        """
+        u = np.asarray(u, dtype=float)
+        if u.shape != (2, self.n, self.n):
+            raise ValueError(f"expected shape {(2, self.n, self.n)}, got {u.shape}")
+        self.set_vorticity(vorticity_from_velocity(u, self.length), reset_time=reset_time)
+
+    def _on_state_change(self) -> None:
+        """Hook for subclasses (e.g. refresh cached spectra)."""
+
+    # ------------------------------------------------------------------
+    # integration
+    # ------------------------------------------------------------------
+    def step(self) -> None:  # pragma: no cover - interface
+        """Advance one time step ``self.dt``."""
+        raise NotImplementedError
+
+    def stable_dt(self) -> float:
+        """A stable step from the current state (CFL + viscous limits)."""
+        u = self.velocity
+        umax = float(np.max(np.abs(u)))
+        h = self.length / self.n
+        adv = 0.5 * h / max(umax, 1e-12)
+        visc = 0.2 * h * h / self.viscosity
+        return min(adv, visc)
+
+    def advance(self, duration: float, callback: Callable[["NSSolverBase"], None] | None = None) -> None:
+        """Integrate forward by ``duration`` time units.
+
+        The final step is shortened to land exactly on
+        ``time + duration``.  ``callback(self)`` runs after every step.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        target = self.time + duration
+        while self.time < target - 1e-12:
+            dt = self.dt if self.dt is not None else self.stable_dt()
+            dt = min(dt, target - self.time)
+            self._step_with_dt(dt)
+            if callback is not None:
+                callback(self)
+
+    def _step_with_dt(self, dt: float) -> None:
+        saved = self.dt
+        self.dt = dt
+        try:
+            self.step()
+        finally:
+            self.dt = saved
+
+    def run(self, duration: float, n_snapshots: int) -> tuple[np.ndarray, np.ndarray]:
+        """Integrate and return ``(times, vorticity_snapshots)``.
+
+        Snapshot 0 is the current state; the remaining ``n_snapshots − 1``
+        are spaced uniformly over ``duration``.
+        """
+        if n_snapshots < 1:
+            raise ValueError("need at least one snapshot")
+        times = np.empty(n_snapshots)
+        snaps = np.empty((n_snapshots, self.n, self.n))
+        times[0] = self.time
+        snaps[0] = self._omega
+        if n_snapshots == 1:
+            return times, snaps
+        interval = duration / (n_snapshots - 1)
+        for i in range(1, n_snapshots):
+            self.advance(interval)
+            times[i] = self.time
+            snaps[i] = self._omega
+        return times, snaps
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def diagnostics(self) -> dict[str, float]:
+        """Global flow diagnostics at the current time."""
+        u = self.velocity
+        return {
+            "time": self.time,
+            "kinetic_energy": kinetic_energy(u),
+            "enstrophy": enstrophy(self._omega),
+            "rms_velocity": rms_velocity(u),
+            "max_divergence": float(np.max(np.abs(divergence(u, self.length)))),
+        }

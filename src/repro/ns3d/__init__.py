@@ -1,0 +1,23 @@
+"""3-D periodic incompressible Navier–Stokes substrate.
+
+Implements the paper's proposed 3-D extension (Sec. VII): the flow
+substrate for "3D FNO for spatial and channels for temporal dimensions".
+"""
+
+from .fields import (
+    divergence3d,
+    nyquist_free_mask,
+    enstrophy3d,
+    kinetic_energy3d,
+    project_solenoidal,
+    random_solenoidal_velocity,
+    vorticity3d,
+    wavenumbers3d,
+)
+from .solver import SpectralNSSolver3D
+
+__all__ = [
+    "SpectralNSSolver3D",
+    "wavenumbers3d", "project_solenoidal", "divergence3d", "vorticity3d",
+    "kinetic_energy3d", "enstrophy3d", "random_solenoidal_velocity", "nyquist_free_mask",
+]

@@ -1,0 +1,149 @@
+"""Field utilities for 3-D periodic incompressible flow.
+
+Supports the paper's proposed 3-D extension (Sec. VII: "an extension of
+the present framework to 3D should be straightforward with 3D FNO for
+spatial and channels for temporal dimensions").  Velocity fields have
+shape ``(3, n, n, n)`` on a periodic cube ``[0, L)³``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "wavenumbers3d",
+    "project_solenoidal",
+    "divergence3d",
+    "vorticity3d",
+    "kinetic_energy3d",
+    "enstrophy3d",
+    "random_solenoidal_velocity",
+]
+
+
+def wavenumbers3d(n: int, length: float = 2.0 * np.pi):
+    """``(kx, ky, kz, k2)`` meshes in rfftn layout ``(n, n, n//2+1)``."""
+    k_full = 2.0 * np.pi / length * np.fft.fftfreq(n, d=1.0 / n)
+    k_half = 2.0 * np.pi / length * np.fft.rfftfreq(n, d=1.0 / n)
+    kx = k_full[:, None, None]
+    ky = k_full[None, :, None]
+    kz = k_half[None, None, :]
+    k2 = kx * kx + ky * ky + kz * kz
+    return kx, ky, kz, k2
+
+
+def _derivative_wavenumbers3d(n: int, length: float):
+    """First-derivative multipliers with all Nyquist planes zeroed."""
+    kx, ky, kz, _ = wavenumbers3d(n, length)
+    kx = np.broadcast_to(kx, (n, n, n // 2 + 1)).copy()
+    ky = np.broadcast_to(ky, (n, n, n // 2 + 1)).copy()
+    kz = np.broadcast_to(kz, (n, n, n // 2 + 1)).copy()
+    if n % 2 == 0:
+        for k in (kx, ky, kz):
+            k[n // 2, :, :] = 0.0
+            k[:, n // 2, :] = 0.0
+            k[:, :, -1] = 0.0
+    return kx, ky, kz
+
+
+def nyquist_free_mask(n: int) -> np.ndarray:
+    """Mask (rfftn layout) zeroing the Nyquist planes of an even grid.
+
+    The anisotropic ``k kᵀ/k²`` projection factor is not symmetric under
+    the sign aliasing of Nyquist modes, so retaining them makes the Leray
+    projection non-idempotent through real-transform round-trips; the
+    standard convention is to band-limit them away.
+    """
+    mask = np.ones((n, n, n // 2 + 1))
+    if n % 2 == 0:
+        mask[n // 2, :, :] = 0.0
+        mask[:, n // 2, :] = 0.0
+        mask[:, :, -1] = 0.0
+    return mask
+
+
+def project_solenoidal(u: np.ndarray, length: float = 2.0 * np.pi) -> np.ndarray:
+    """Leray projection onto divergence-free fields.
+
+    The mean flow (k = 0) is preserved; Nyquist planes are zeroed (see
+    :func:`nyquist_free_mask`).
+    """
+    n = u.shape[-1]
+    kx, ky, kz, k2 = wavenumbers3d(n, length)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv_k2 = np.where(k2 > 0, 1.0 / np.where(k2 > 0, k2, 1.0), 0.0)
+    mask = nyquist_free_mask(n)
+    u_hat = np.stack([np.fft.rfftn(u[c]) * mask for c in range(3)])
+    k_vec = (kx, ky, kz)
+    k_dot_u = sum(k_vec[c] * u_hat[c] for c in range(3))
+    out = np.empty_like(u)
+    for c in range(3):
+        proj = u_hat[c] - k_vec[c] * k_dot_u * inv_k2
+        out[c] = np.fft.irfftn(proj, s=u.shape[-3:], axes=(-3, -2, -1))
+    return out
+
+
+def divergence3d(u: np.ndarray, length: float = 2.0 * np.pi) -> np.ndarray:
+    """Spectral divergence of ``(3, n, n, n)`` velocity."""
+    n = u.shape[-1]
+    kx, ky, kz = _derivative_wavenumbers3d(n, length)
+    div_hat = (
+        1j * kx * np.fft.rfftn(u[0])
+        + 1j * ky * np.fft.rfftn(u[1])
+        + 1j * kz * np.fft.rfftn(u[2])
+    )
+    return np.fft.irfftn(div_hat, s=u.shape[-3:], axes=(-3, -2, -1))
+
+
+def vorticity3d(u: np.ndarray, length: float = 2.0 * np.pi) -> np.ndarray:
+    """Spectral curl; returns ``(3, n, n, n)``."""
+    n = u.shape[-1]
+    kx, ky, kz = _derivative_wavenumbers3d(n, length)
+    u_hat = [np.fft.rfftn(u[c]) for c in range(3)]
+    s = u.shape[-3:]
+    wx = np.fft.irfftn(1j * ky * u_hat[2] - 1j * kz * u_hat[1], s=s, axes=(-3, -2, -1))
+    wy = np.fft.irfftn(1j * kz * u_hat[0] - 1j * kx * u_hat[2], s=s, axes=(-3, -2, -1))
+    wz = np.fft.irfftn(1j * kx * u_hat[1] - 1j * ky * u_hat[0], s=s, axes=(-3, -2, -1))
+    return np.stack([wx, wy, wz])
+
+
+def kinetic_energy3d(u: np.ndarray) -> float:
+    """Volume-mean kinetic energy ``0.5 <|u|²>``."""
+    return float(0.5 * np.mean((u * u).sum(axis=0)))
+
+
+def enstrophy3d(u: np.ndarray, length: float = 2.0 * np.pi) -> float:
+    """Volume-mean enstrophy ``0.5 <|ω|²>``."""
+    w = vorticity3d(u, length)
+    return float(0.5 * np.mean((w * w).sum(axis=0)))
+
+
+def random_solenoidal_velocity(
+    n: int,
+    rng=None,
+    k_peak: float = 3.0,
+    k_width: float = 1.0,
+    u0: float = 1.0,
+    length: float = 2.0 * np.pi,
+) -> np.ndarray:
+    """Band-limited random divergence-free velocity with RMS speed ``u0``."""
+    from ..utils.rng import as_generator
+
+    rng = as_generator(rng)
+    kx, ky, kz, k2 = wavenumbers3d(n, length)
+    k_mag = np.sqrt(k2)
+    amplitude = np.exp(-0.5 * ((k_mag - k_peak) / k_width) ** 2)
+    amplitude[0, 0, 0] = 0.0
+    u = np.empty((3, n, n, n))
+    for c in range(3):
+        phases = rng.uniform(0.0, 2.0 * np.pi, size=amplitude.shape)
+        u_hat = amplitude * np.exp(1j * phases)
+        if n % 2 == 0:
+            u_hat[n // 2, :, :] = 0.0
+            u_hat[:, n // 2, :] = 0.0
+            u_hat[:, :, -1] = 0.0
+        u[c] = np.fft.irfftn(u_hat, s=(n, n, n), axes=(-3, -2, -1))
+    u = project_solenoidal(u, length)
+    u -= u.mean(axis=(1, 2, 3), keepdims=True)
+    rms = float(np.sqrt(np.mean((u * u).sum(axis=0))))
+    return u * (u0 / max(rms, 1e-30))

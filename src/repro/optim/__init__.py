@@ -1,0 +1,10 @@
+"""Optimisers and learning-rate schedulers."""
+
+from .adam import Adam, AdamW
+from .base import SGD, Optimizer
+from .lr_scheduler import CosineAnnealingLR, LambdaLR, LRScheduler, StepLR
+
+__all__ = [
+    "Optimizer", "SGD", "Adam", "AdamW",
+    "LRScheduler", "StepLR", "CosineAnnealingLR", "LambdaLR",
+]

@@ -1,0 +1,82 @@
+"""Adam and AdamW optimisers.
+
+The paper trains with Adam + a step learning-rate schedule ("scheduler
+gamma" and "scheduler step" hyper-parameters in Figs. 5–7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Optimizer
+
+__all__ = ["Adam", "AdamW"]
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with optional L2 ``weight_decay`` added to
+    the gradient (the classic, non-decoupled form)."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr=lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1 ** self._t
+        bias2 = 1.0 - b2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * (g * g)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "t": self._t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+            "lr": self.lr,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._t = int(state["t"])
+        self._m = [np.asarray(m).copy() for m in state["m"]]
+        self._v = [np.asarray(v).copy() for v in state["v"]]
+        self.lr = float(state["lr"])
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def step(self) -> None:
+        if self.weight_decay:
+            for p in self.params:
+                if p.grad is not None:
+                    p.data -= self.lr * self.weight_decay * p.data
+        decay, self.weight_decay = self.weight_decay, 0.0
+        try:
+            super().step()
+        finally:
+            self.weight_decay = decay

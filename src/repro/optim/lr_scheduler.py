@@ -1,0 +1,72 @@
+"""Learning-rate schedulers.
+
+:class:`StepLR` reproduces the paper's "scheduler gamma" / "scheduler
+step" hyper-parameters (Figs. 5–7): every ``step_size`` epochs the
+learning rate is multiplied by ``gamma``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "CosineAnnealingLR", "LambdaLR"]
+
+
+class LRScheduler:
+    """Base scheduler: call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        self.t_max = int(t_max)
+        self.eta_min = float(eta_min)
+
+    def get_lr(self) -> float:
+        frac = min(self.epoch, self.t_max) / max(self.t_max, 1)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1.0 + math.cos(math.pi * frac))
+
+
+class LambdaLR(LRScheduler):
+    """LR = base LR × ``fn(epoch)``."""
+
+    def __init__(self, optimizer: Optimizer, fn):
+        super().__init__(optimizer)
+        self.fn = fn
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.fn(self.epoch)

@@ -1,0 +1,158 @@
+"""Digest of the benchmark results directory.
+
+``python -m repro.reporting [benchmarks/results]`` prints a compact
+paper-vs-measured summary assembled from the JSON files the benchmark
+harness archives — the same numbers EXPERIMENTS.md quotes, regenerated
+from whatever the latest run produced.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["load_results", "summarize", "main"]
+
+
+def load_results(results_dir) -> dict[str, dict]:
+    """Load every ``<name>.json`` in the results directory."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no results directory at {results_dir}")
+    out = {}
+    for path in sorted(results_dir.glob("*.json")):
+        out[path.stem] = json.loads(path.read_text())
+    return out
+
+
+def _fmt(x) -> str:
+    return f"{float(x):.3g}"
+
+
+def _mean_tail(series, k=5) -> float:
+    arr = np.asarray(series, dtype=float)
+    return float(arr[-k:].mean())
+
+
+def summarize(results: dict[str, dict]) -> list[str]:
+    """One line per experiment, paper-claim oriented.
+
+    Unknown/missing experiments are skipped silently so partial result
+    directories still summarise cleanly.
+    """
+    lines: list[str] = []
+
+    def add(name: str, text_fn) -> None:
+        if name in results:
+            try:
+                lines.append(f"{name:24s} {text_fn(results[name])}")
+            except (KeyError, IndexError, TypeError) as exc:
+                lines.append(f"{name:24s} <malformed: {exc}>")
+
+    add("fig1_statistics", lambda r: (
+        f"std(ω) {_fmt(r['std_raw_mean'][0])} → {_fmt(r['std_raw_mean'][-1])}, "
+        f"max|mean ω| {_fmt(r['max_abs_mean_vorticity'])}"
+    ))
+    add("fig2_separation", lambda r: (
+        f"mean separation at end {_fmt(np.mean(np.asarray(r['separation'])[:, -1]))}"
+    ))
+    add("fig3_projection", lambda r: (
+        f"correlation 1 → {_fmt(np.mean(np.asarray(r['correlation'])[:, -1]))}"
+    ))
+    add("fig4_lyapunov", lambda r: (
+        f"Λ = {', '.join(_fmt(x) for x in r['exponents_per_tc'])} /t_c, "
+        f"T_L = {_fmt(r['lyapunov_time_tc'])} t_c "
+        f"(paper {r['paper_reference']['lambda_max']}, {r['paper_reference']['T_L']})"
+    ))
+    add("fig5_channels", lambda r: (
+        "final-step rel L2 " + ", ".join(
+            f"{k}:{_fmt(v['errors'][-1])}" for k, v in sorted(r["curves"].items())
+        )
+    ))
+    add("fig6_tuning2d", lambda r: (
+        "sensitivity spreads " + ", ".join(
+            f"{k}:{_fmt(v['spread'])}"
+            for k, v in sorted(r.items(), key=lambda kv: -kv[1]["spread"])
+        )
+    ))
+    add("fig7_tuning3d", lambda r: (
+        f"3D base t+1→t+5 {_fmt(r['base']['errors'][0])}→{_fmt(r['base']['errors'][-1])}, "
+        f"channel comparator {_fmt(r['channel_comparator']['errors'][0])}→"
+        f"{_fmt(r['channel_comparator']['errors'][-1])}"
+    ))
+    add("fig8_hybrid_stats", lambda r: (
+        f"final KE pde {_fmt(r['pde']['kinetic_energy'][-1])}, "
+        f"fno {_fmt(r['fno']['kinetic_energy'][-1])}, "
+        f"hybrid {_fmt(r['hybrid']['kinetic_energy'][-1])}"
+    ))
+    add("fig9_longterm_errors", lambda r: (
+        f"tail KE% fno {_fmt(_mean_tail(r['ke_err_fno']))} vs hybrid "
+        f"{_fmt(_mean_tail(r['ke_err_hybrid']))}; Z% fno {_fmt(_mean_tail(r['ens_err_fno']))} "
+        f"vs hybrid {_fmt(_mean_tail(r['ens_err_hybrid']))}"
+    ))
+    add("table1_model_costs", lambda r: (
+        f"count ratios ours/paper {_fmt(min(row['ratio'] for row in r['rows']))}–"
+        f"{_fmt(max(row['ratio'] for row in r['rows']))}; "
+        f"epoch 3D/2D {_fmt(r['epoch_seconds_3d'] / r['epoch_seconds_2d'])}x"
+    ))
+    add("ablation_dealiasing", lambda r: (
+        f"rel err dealiased {_fmt(r['dealiased']['error_vs_refined'])} vs aliased "
+        f"{_fmt(r['aliased']['error_vs_refined'])}"
+    ))
+    add("ablation_entropic", lambda r: (
+        f"BGK blew up at {r['bgk']['blew_up_at']}, MRT/entropic survived "
+        f"(min f: {_fmt(r['mrt']['min_population'])} / {_fmt(r['entropic']['min_population'])})"
+    ))
+    add("ablation_loss", lambda r: (
+        "enstrophy %err " + ", ".join(f"{k}:{_fmt(v['enstrophy_pct_err'])}" for k, v in r.items())
+        + "; div " + ", ".join(f"{k}:{_fmt(v['rms_divergence'])}" for k, v in r.items())
+    ))
+    add("spectral_bias", lambda r: (
+        f"fidelity k {_fmt(r['fidelity_wavenumber'][0])} → {_fmt(r['fidelity_wavenumber'][-1])} "
+        f"(resolved max {r['resolved_max_k']})"
+    ))
+    add("super_resolution", lambda r: (
+        f"rel L2 64²/32² {_fmt(np.mean(r['err_fine']))}/{_fmt(np.mean(r['err_coarse']))}, "
+        f"consistency {_fmt(r['consistency'])}"
+    ))
+    add("cost_model", lambda r: (
+        f"paper speedup {_fmt(r['paper']['speedup_vs_pde'])}x "
+        f"(amortise {_fmt(r['paper']['amortisation_tcs'])} t_c); "
+        f"measured {_fmt(r['measured']['speedup_vs_pde'])}x"
+    ))
+    add("forced_turbulence", lambda r: (
+        f"KE ratio forced {_fmt(r['ke_forced_ratio'])} vs decaying {_fmt(r['ke_decay_ratio'])}; "
+        f"model {_fmt(np.mean(r['model_err']))} vs persistence {_fmt(np.mean(r['persistence_err']))}"
+    ))
+    add("extension_3d", lambda r: (
+        f"model {_fmt(r['model_err'])} vs persistence {_fmt(r['persistence_err'])} "
+        f"({r['parameters']} params)"
+    ))
+    add("baseline_deeponet", lambda r: (
+        f"FNO {_fmt(np.mean(r['err_fno']))} vs DeepONet {_fmt(np.mean(r['err_deeponet']))}"
+    ))
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    results_dir = argv[0] if argv else "benchmarks/results"
+    try:
+        results = load_results(results_dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not results:
+        print(f"no result files in {results_dir}", file=sys.stderr)
+        return 1
+    print(f"benchmark digest ({len(results)} experiments from {results_dir}):\n")
+    for line in summarize(results):
+        print("  " + line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""A small reverse-mode autodiff engine on NumPy arrays.
+
+Public surface:
+
+* :class:`Tensor` — array wrapper with a backward tape.
+* :mod:`repro.tensor.ops` — differentiable primitives (also installed as
+  Tensor dunders).
+* :mod:`repro.tensor.fft_ops` — fused spectral-convolution ops used by the
+  Fourier neural operator layers.
+"""
+
+from . import fft_ops, ops
+from .fft_ops import (
+    solenoidal_projection_2d,
+    spectral_conv1d,
+    spectral_conv2d,
+    spectral_conv3d,
+)
+from .ops import (
+    abs_,
+    add,
+    broadcast_to,
+    clip,
+    concatenate,
+    cos,
+    div,
+    dot,
+    einsum,
+    exp,
+    gelu,
+    getitem,
+    log,
+    matmul,
+    maximum,
+    mean,
+    minimum,
+    moveaxis,
+    mul,
+    neg,
+    pad,
+    pow_,
+    relu,
+    reshape,
+    roll,
+    sigmoid,
+    sin,
+    sqrt,
+    square,
+    stack,
+    sub,
+    sum_,
+    tanh,
+    transpose,
+    var,
+    where,
+)
+from .tensor import Tensor, is_grad_enabled, no_grad, unbroadcast
+
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled", "unbroadcast",
+    "ops", "fft_ops", "spectral_conv1d", "spectral_conv2d", "spectral_conv3d", "solenoidal_projection_2d",
+    "add", "sub", "mul", "div", "neg", "pow_", "matmul", "einsum", "dot",
+    "exp", "log", "sqrt", "tanh", "sigmoid", "relu", "gelu", "abs_", "sin",
+    "cos", "clip", "reshape", "transpose", "moveaxis", "getitem", "pad",
+    "concatenate", "stack", "sum_", "mean", "var", "maximum", "minimum", "roll",
+    "where", "broadcast_to", "square",
+]

@@ -1,0 +1,593 @@
+"""Differentiable primitives for :class:`repro.tensor.Tensor`.
+
+Every function here takes tensors (or array-likes) and returns a Tensor
+wired into the tape.  Gradient formulas are standard; all of them are
+checked against central finite differences in the test suite.
+
+The module also installs the arithmetic dunders (``+``, ``*``, ``@``,
+slicing, …) on :class:`Tensor` at import time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+from scipy import special as _sp_special
+
+from .tensor import Tensor, unbroadcast
+
+__all__ = [
+    "add", "sub", "mul", "div", "neg", "pow_", "matmul", "einsum",
+    "exp", "log", "sqrt", "tanh", "sigmoid", "relu", "gelu", "abs_",
+    "sin", "cos", "clip",
+    "reshape", "transpose", "moveaxis", "getitem", "pad", "concatenate",
+    "stack", "sum_", "mean", "var", "maximum", "minimum", "where",
+    "broadcast_to", "square", "dot", "roll",
+]
+
+_SQRT_2 = math.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+
+
+def _t(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+# ---------------------------------------------------------------------------
+# arithmetic
+# ---------------------------------------------------------------------------
+
+def add(a, b) -> Tensor:
+    a, b = _t(a), _t(b)
+    out_data = a.data + b.data
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(unbroadcast(g, a.data.shape))
+        b._accumulate(unbroadcast(g, b.data.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+def sub(a, b) -> Tensor:
+    a, b = _t(a), _t(b)
+    out_data = a.data - b.data
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(unbroadcast(g, a.data.shape))
+        b._accumulate(unbroadcast(-g, b.data.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+def mul(a, b) -> Tensor:
+    a, b = _t(a), _t(b)
+    out_data = a.data * b.data
+
+    def backward(g: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(unbroadcast(g * b.data, a.data.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(g * a.data, b.data.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+def div(a, b) -> Tensor:
+    a, b = _t(a), _t(b)
+    out_data = a.data / b.data
+
+    def backward(g: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(unbroadcast(g / b.data, a.data.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(-g * a.data / (b.data * b.data), b.data.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+def neg(a) -> Tensor:
+    a = _t(a)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(-g)
+
+    return Tensor.from_op(-a.data, (a,), backward)
+
+
+def pow_(a, exponent: float) -> Tensor:
+    """Elementwise power with a *scalar* exponent."""
+    a = _t(a)
+    exponent = float(exponent)
+    out_data = a.data ** exponent
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(g * exponent * a.data ** (exponent - 1.0))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def square(a) -> Tensor:
+    a = _t(a)
+    out_data = a.data * a.data
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(2.0 * g * a.data)
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def matmul(a, b) -> Tensor:
+    a, b = _t(a), _t(b)
+    out_data = a.data @ b.data
+
+    def backward(g: np.ndarray) -> None:
+        if a.requires_grad:
+            if b.data.ndim == 1:
+                ga = np.multiply.outer(g, b.data) if a.data.ndim > 1 else g * b.data
+            else:
+                ga = g @ np.swapaxes(b.data, -1, -2)
+            a._accumulate(unbroadcast(np.asarray(ga), a.data.shape))
+        if b.requires_grad:
+            if a.data.ndim == 1:
+                gb = np.multiply.outer(a.data, g) if b.data.ndim > 1 else a.data * g
+            else:
+                gb = np.swapaxes(a.data, -1, -2) @ g
+            b._accumulate(unbroadcast(np.asarray(gb), b.data.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+def dot(a, b) -> Tensor:
+    """Inner product of two flattened tensors."""
+    a, b = _t(a), _t(b)
+    out_data = np.asarray(np.vdot(a.data, b.data))
+
+    def backward(g: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(g * b.data)
+        if b.requires_grad:
+            b._accumulate(g * a.data)
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+def _indices(term: str) -> str:
+    """Named indices of a subscript term, with any ``...`` ellipsis removed."""
+    return term.replace("...", "")
+
+
+def _parse_einsum(subscripts: str, n_ops: int) -> tuple[list[str], str]:
+    if "->" not in subscripts:
+        raise ValueError("einsum requires an explicit output, e.g. 'ij,jk->ik'")
+    lhs, out = subscripts.replace(" ", "").split("->")
+    terms = lhs.split(",")
+    if len(terms) != n_ops:
+        raise ValueError(f"einsum got {n_ops} operands for {len(terms)} subscript terms")
+    for term in terms:
+        named = _indices(term)
+        if len(set(named)) != len(named):
+            raise ValueError("einsum with repeated indices inside one operand is not differentiable here")
+        if "..." in term and "..." not in out:
+            raise ValueError("einsum ellipsis must also appear in the output term")
+    return terms, out
+
+
+def einsum(subscripts: str, *operands) -> Tensor:
+    """Differentiable einsum for one or two operands.
+
+    Requires an explicit ``->`` output and no repeated index within a
+    single operand (no traces).  The gradient with respect to operand A is
+    ``einsum(out_subs [, other_subs] -> A_subs, g [, other])`` — valid as
+    long as every index of A appears in the output or the other operand,
+    which is checked.
+    """
+    tensors = [_t(op) for op in operands]
+    terms, out_subs = _parse_einsum(subscripts, len(tensors))
+    out_data = np.einsum(subscripts, *[t.data for t in tensors])
+
+    if len(tensors) == 1:
+        (a,) = tensors
+        (ta,) = terms
+        if "..." in ta:
+            raise NotImplementedError("ellipsis is not supported for single-operand einsum gradients")
+        missing = set(ta) - set(out_subs)
+        size_map = dict(zip(ta, a.data.shape))
+
+        def backward(g: np.ndarray) -> None:
+            if not a.requires_grad:
+                return
+            kept = [c for c in ta if c in out_subs]
+            ga = np.einsum(f"{out_subs}->{''.join(kept)}", g, optimize=True)
+            if missing:
+                # Indices summed away: broadcast the cotangent back.
+                ga = np.broadcast_to(
+                    _expand_missing(ga, ta, kept, size_map),
+                    [size_map[c] for c in ta],
+                )
+            a._accumulate(np.ascontiguousarray(ga))
+
+        return Tensor.from_op(out_data, (a,), backward)
+
+    a, b = tensors
+    ta, tb = terms
+    for term, other in ((ta, tb), (tb, ta)):
+        uncovered = set(_indices(term)) - set(_indices(out_subs)) - set(_indices(other))
+        if uncovered:
+            raise ValueError(f"einsum indices {uncovered} of one operand appear nowhere else; gradient undefined")
+
+    def _operand_grad(g: np.ndarray, other: np.ndarray, other_term: str, self_term: str) -> np.ndarray:
+        if "..." in self_term or "..." not in out_subs:
+            return np.einsum(f"{out_subs},{other_term}->{self_term}", g, other, optimize=True)
+        # The output carries broadcast (ellipsis) axes that this operand
+        # does not have: route them to the front, then sum them away.
+        res = np.einsum(f"{out_subs},{other_term}->...{self_term}", g, other, optimize=True)
+        extra = res.ndim - len(_indices(self_term))
+        return res.sum(axis=tuple(range(extra))) if extra else res
+
+    def backward(g: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_operand_grad(g, b.data, tb, ta))
+        if b.requires_grad:
+            b._accumulate(_operand_grad(g, a.data, ta, tb))
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+def _expand_missing(g: np.ndarray, term: str, kept: list[str], size_map: dict[str, int]) -> np.ndarray:
+    """Insert singleton axes for indices of ``term`` that were summed away."""
+    shape = []
+    src_axis = 0
+    for c in term:
+        if c in kept:
+            shape.append(g.shape[src_axis])
+            src_axis += 1
+        else:
+            shape.append(1)
+    return g.reshape(shape)
+
+
+# ---------------------------------------------------------------------------
+# elementwise functions
+# ---------------------------------------------------------------------------
+
+def exp(a) -> Tensor:
+    a = _t(a)
+    out_data = np.exp(a.data)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(g * out_data)
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def log(a) -> Tensor:
+    a = _t(a)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(g / a.data)
+
+    return Tensor.from_op(np.log(a.data), (a,), backward)
+
+
+def sqrt(a) -> Tensor:
+    a = _t(a)
+    out_data = np.sqrt(a.data)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(g * 0.5 / out_data)
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def tanh(a) -> Tensor:
+    a = _t(a)
+    out_data = np.tanh(a.data)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(g * (1.0 - out_data * out_data))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def sigmoid(a) -> Tensor:
+    a = _t(a)
+    out_data = _sp_special.expit(a.data)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(g * out_data * (1.0 - out_data))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def relu(a) -> Tensor:
+    a = _t(a)
+    out_data = np.maximum(a.data, 0.0)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(g * (a.data > 0))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def gelu(a) -> Tensor:
+    """Exact Gaussian error linear unit: ``0.5 x (1 + erf(x/sqrt(2)))``."""
+    a = _t(a)
+    x = a.data
+    cdf = 0.5 * (1.0 + _sp_special.erf(x / _SQRT_2))
+    out_data = x * cdf
+
+    def backward(g: np.ndarray) -> None:
+        pdf = _INV_SQRT_2PI * np.exp(-0.5 * x * x)
+        a._accumulate(g * (cdf + x * pdf))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def abs_(a) -> Tensor:
+    a = _t(a)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(g * np.sign(a.data))
+
+    return Tensor.from_op(np.abs(a.data), (a,), backward)
+
+
+def sin(a) -> Tensor:
+    a = _t(a)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(g * np.cos(a.data))
+
+    return Tensor.from_op(np.sin(a.data), (a,), backward)
+
+
+def cos(a) -> Tensor:
+    a = _t(a)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(-g * np.sin(a.data))
+
+    return Tensor.from_op(np.cos(a.data), (a,), backward)
+
+
+def clip(a, lo: float, hi: float) -> Tensor:
+    a = _t(a)
+    out_data = np.clip(a.data, lo, hi)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(g * ((a.data >= lo) & (a.data <= hi)))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def maximum(a, b) -> Tensor:
+    a, b = _t(a), _t(b)
+    out_data = np.maximum(a.data, b.data)
+
+    def backward(g: np.ndarray) -> None:
+        mask = a.data >= b.data
+        if a.requires_grad:
+            a._accumulate(unbroadcast(g * mask, a.data.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(g * ~mask, b.data.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+def minimum(a, b) -> Tensor:
+    a, b = _t(a), _t(b)
+    out_data = np.minimum(a.data, b.data)
+
+    def backward(g: np.ndarray) -> None:
+        mask = a.data <= b.data
+        if a.requires_grad:
+            a._accumulate(unbroadcast(g * mask, a.data.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(g * ~mask, b.data.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+def where(cond, a, b) -> Tensor:
+    cond = np.asarray(cond.data if isinstance(cond, Tensor) else cond, dtype=bool)
+    a, b = _t(a), _t(b)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(g: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(unbroadcast(g * cond, a.data.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(g * ~cond, b.data.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+# ---------------------------------------------------------------------------
+# shape manipulation
+# ---------------------------------------------------------------------------
+
+def reshape(a, shape) -> Tensor:
+    a = _t(a)
+    in_shape = a.data.shape
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(g.reshape(in_shape))
+
+    return Tensor.from_op(a.data.reshape(shape), (a,), backward)
+
+
+def transpose(a, axes: Sequence[int] | None = None) -> Tensor:
+    a = _t(a)
+    if axes is None:
+        axes = tuple(reversed(range(a.data.ndim)))
+    axes = tuple(axes)
+    inv = np.argsort(axes)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(g.transpose(inv))
+
+    return Tensor.from_op(a.data.transpose(axes), (a,), backward)
+
+
+def moveaxis(a, source, destination) -> Tensor:
+    a = _t(a)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(np.moveaxis(g, destination, source))
+
+    return Tensor.from_op(np.moveaxis(a.data, source, destination), (a,), backward)
+
+
+def getitem(a, index) -> Tensor:
+    a = _t(a)
+    out_data = a.data[index]
+
+    def backward(g: np.ndarray) -> None:
+        ga = np.zeros_like(a.data)
+        np.add.at(ga, index, g)
+        a._accumulate(ga)
+
+    return Tensor.from_op(np.ascontiguousarray(out_data), (a,), backward)
+
+
+def pad(a, pad_width, constant_value: float = 0.0) -> Tensor:
+    """Constant-pad; ``pad_width`` follows :func:`numpy.pad` conventions."""
+    a = _t(a)
+    pad_width = np.asarray(pad_width)
+    if pad_width.ndim == 1:
+        pad_width = np.broadcast_to(pad_width, (a.data.ndim, 2))
+    slices = tuple(
+        slice(int(before), int(before) + dim)
+        for (before, _after), dim in zip(pad_width, a.data.shape)
+    )
+    out_data = np.pad(a.data, pad_width, constant_values=constant_value)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(g[slices])
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def concatenate(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [_t(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                idx = [slice(None)] * g.ndim
+                idx[axis] = slice(int(start), int(stop))
+                t._accumulate(g[tuple(idx)])
+
+    return Tensor.from_op(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [_t(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray) -> None:
+        pieces = np.moveaxis(g, axis, 0)
+        for t, piece in zip(tensors, pieces):
+            if t.requires_grad:
+                t._accumulate(piece)
+
+    return Tensor.from_op(out_data, tuple(tensors), backward)
+
+
+def roll(a, shift, axis) -> Tensor:
+    """Periodic roll along ``axis`` (differentiable; adjoint rolls back)."""
+    a = _t(a)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(np.roll(g, -shift if not isinstance(shift, tuple) else tuple(-s for s in shift), axis=axis))
+
+    return Tensor.from_op(np.roll(a.data, shift, axis=axis), (a,), backward)
+
+
+def broadcast_to(a, shape) -> Tensor:
+    a = _t(a)
+    in_shape = a.data.shape
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(unbroadcast(g, in_shape))
+
+    return Tensor.from_op(np.broadcast_to(a.data, shape).copy(), (a,), backward)
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+def _restore_reduced(g: np.ndarray, in_shape: tuple[int, ...], axis, keepdims: bool) -> np.ndarray:
+    if axis is None:
+        return np.broadcast_to(g, in_shape)
+    axes = axis if isinstance(axis, tuple) else (axis,)
+    axes = tuple(ax % len(in_shape) for ax in axes)
+    if not keepdims:
+        for ax in sorted(axes):
+            g = np.expand_dims(g, ax)
+    return np.broadcast_to(g, in_shape)
+
+
+def sum_(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = _t(a)
+    in_shape = a.data.shape
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(_restore_reduced(g, in_shape, axis, keepdims))
+
+    return Tensor.from_op(np.asarray(out_data), (a,), backward)
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = _t(a)
+    in_shape = a.data.shape
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else np.prod(
+        [in_shape[ax % len(in_shape)] for ax in (axis if isinstance(axis, tuple) else (axis,))]
+    )
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(_restore_reduced(g, in_shape, axis, keepdims) / count)
+
+    return Tensor.from_op(np.asarray(out_data), (a,), backward)
+
+
+def var(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Biased (population) variance, differentiable."""
+    a = _t(a)
+    mu = mean(a, axis=axis, keepdims=True)
+    centered = sub(a, mu)
+    return mean(square(centered), axis=axis, keepdims=keepdims)
+
+
+# ---------------------------------------------------------------------------
+# dunder installation
+# ---------------------------------------------------------------------------
+
+def _install_operators() -> None:
+    Tensor.__add__ = lambda self, other: add(self, other)
+    Tensor.__radd__ = lambda self, other: add(other, self)
+    Tensor.__sub__ = lambda self, other: sub(self, other)
+    Tensor.__rsub__ = lambda self, other: sub(other, self)
+    Tensor.__mul__ = lambda self, other: mul(self, other)
+    Tensor.__rmul__ = lambda self, other: mul(other, self)
+    Tensor.__truediv__ = lambda self, other: div(self, other)
+    Tensor.__rtruediv__ = lambda self, other: div(other, self)
+    Tensor.__neg__ = lambda self: neg(self)
+    Tensor.__pow__ = lambda self, exponent: pow_(self, exponent)
+    Tensor.__matmul__ = lambda self, other: matmul(self, other)
+    Tensor.__getitem__ = lambda self, index: getitem(self, index)
+    Tensor.reshape = lambda self, *shape: reshape(self, shape[0] if len(shape) == 1 and isinstance(shape[0], (tuple, list)) else shape)
+    Tensor.transpose = lambda self, *axes: transpose(self, axes if axes else None)
+    Tensor.sum = lambda self, axis=None, keepdims=False: sum_(self, axis, keepdims)
+    Tensor.mean = lambda self, axis=None, keepdims=False: mean(self, axis, keepdims)
+
+
+_install_operators()

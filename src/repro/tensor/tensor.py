@@ -1,0 +1,282 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module provides the :class:`Tensor` class — a thin wrapper around a
+real-valued :class:`numpy.ndarray` that records a tape of operations so
+that gradients can be computed by reverse-mode accumulation.
+
+Design notes
+------------
+* Data is always a real ``float32``/``float64`` ndarray.  Complex values
+  only appear *inside* fused spectral operations (see
+  :mod:`repro.tensor.fft_ops`), whose adjoints are derived analytically.
+* The tape is implicit: each Tensor produced by an operation keeps
+  references to its parents and a closure that scatters the incoming
+  cotangent into ``parent.grad``.  :meth:`Tensor.backward` performs a
+  topological sort and runs the closures once each.
+* Broadcasting follows NumPy semantics; cotangents are summed back to the
+  parent shapes with :func:`unbroadcast`.
+
+The engine is deliberately small — a few dozen primitives — but complete
+enough to train Fourier neural operators end to end.  Gradients of every
+primitive are validated against central finite differences in the test
+suite (``tests/test_tensor_gradcheck.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast", "asarray"]
+
+
+_GRAD_ENABLED: bool = True
+
+
+class no_grad:
+    """Context manager that disables tape recording.
+
+    Inside a ``with no_grad():`` block, operations on tensors produce
+    result tensors with ``requires_grad=False`` and no parents, exactly
+    like the PyTorch context manager of the same name.  Use it for
+    inference rollouts and metric computation.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations are currently recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+def asarray(value, dtype=None) -> np.ndarray:
+    """Coerce ``value`` (scalar, list, ndarray or Tensor) to an ndarray."""
+    if isinstance(value, Tensor):
+        value = value.data
+    arr = np.asarray(value)
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    elif arr.dtype not in (np.float32, np.float64):
+        arr = arr.astype(np.float64)
+    return arr
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting.
+
+    Axes that were prepended by broadcasting are summed away; axes that
+    were stretched from length 1 are summed with ``keepdims=True``.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched axes.
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A real-valued array with reverse-mode autodiff support.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a ``float32``/``float64`` ndarray.
+    requires_grad:
+        When True, gradients are accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        self.data: np.ndarray = asarray(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_op(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Build a Tensor resulting from an operation on ``parents``.
+
+        ``backward`` receives the cotangent of the output and must
+        accumulate into each parent's ``.grad`` (only for parents with
+        ``requires_grad``).  When grad mode is off or no parent requires
+        gradients the tape edge is dropped entirely.
+        """
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        out.requires_grad = requires
+        out.name = None
+        if requires:
+            out._backward = backward
+            out._parents = tuple(parents)
+        else:
+            out._backward = None
+            out._parents = ()
+        return out
+
+    @staticmethod
+    def zeros(shape, dtype=np.float64, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape, dtype=np.float64, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numel(self) -> int:
+        """Number of scalar elements (PyTorch-compatible spelling)."""
+        return self.data.size
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new Tensor sharing data but cut from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def astype(self, dtype) -> "Tensor":
+        dtype = np.dtype(dtype)
+        out_data = self.data.astype(dtype)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g.astype(self.data.dtype))
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _accumulate(self, g: np.ndarray) -> None:
+        """Accumulate a cotangent into ``self.grad`` (dtype-preserving)."""
+        if not self.requires_grad:
+            return
+        g = np.asarray(g, dtype=self.data.dtype)
+        if self.grad is None:
+            # Always copy on first store: the incoming cotangent may alias
+            # an array that another closure also hands out (e.g. ``x + x``),
+            # and we accumulate in place afterwards.
+            self.grad = g.copy()
+        else:
+            self.grad += g
+
+    # ------------------------------------------------------------------
+    # backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode accumulation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Cotangent seed.  Defaults to 1 for scalar outputs; required
+            for non-scalar outputs.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            raise ValueError(f"grad shape {grad.shape} != tensor shape {self.data.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if p.requires_grad and id(p) not in visited:
+                    stack.append((p, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Free intermediate cotangents and tape edges: leaves keep
+                # their grads (they have no _backward); interior nodes do
+                # not need theirs after propagation.
+                node.grad = None
+                node._backward = None
+                node._parents = ()
+
+    # ------------------------------------------------------------------
+    # operator plumbing (implementations live in repro.tensor.ops)
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}, dtype={self.data.dtype}{flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # Arithmetic dunders are attached by repro.tensor.ops at import time to
+    # avoid a circular definition; see ``ops._install_operators``.
+
+
+def _ensure_tensor(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+Tensor._ensure = staticmethod(_ensure_tensor)  # type: ignore[attr-defined]

@@ -1,0 +1,7 @@
+"""Shared utilities: RNG fan-out, timing, process-parallel map."""
+
+from .parallel import default_workers, parallel_map
+from .rng import as_generator, spawn_rngs
+from .timing import Timer, timed
+
+__all__ = ["parallel_map", "default_workers", "spawn_rngs", "as_generator", "Timer", "timed"]

@@ -1,0 +1,47 @@
+"""Process-parallel map for embarrassingly parallel workloads.
+
+Dataset generation runs thousands of independent solver trajectories
+(the paper burned 263 CPU-seconds per sample on an EPYC core); this is
+the fan-out primitive.  Uses ``multiprocessing`` with a plain serial
+fallback for ``n_workers <= 1`` — important both for debugging and for
+environments where forking is restricted.
+
+Worker functions must be module-level (picklable).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map", "default_workers"]
+
+
+def default_workers() -> int:
+    """A sensible worker count: physical parallelism minus one, min 1."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    n_workers: int | None = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """Apply ``fn`` to every item, preserving order.
+
+    ``n_workers=None`` uses :func:`default_workers`; ``n_workers <= 1``
+    runs serially in-process (no pickling requirements).
+    """
+    items = list(items)
+    if n_workers is None:
+        n_workers = default_workers()
+    if n_workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    n_workers = min(n_workers, len(items))
+    with mp.get_context("spawn").Pool(processes=n_workers) as pool:
+        return pool.map(fn, items, chunksize=chunksize)

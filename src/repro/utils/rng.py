@@ -1,0 +1,25 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the repo takes a ``numpy.random.Generator``
+(or a seed) explicitly; these helpers make fan-out reproducible: a parent
+seed spawns independent child streams, one per sample/worker, so results
+do not depend on scheduling order or worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spawn_rngs", "as_generator"]
+
+
+def as_generator(seed_or_rng) -> np.random.Generator:
+    """Coerce a seed (int/None) or Generator into a Generator."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
+    """``n`` statistically independent generators derived from ``seed``."""
+    return [np.random.default_rng(s) for s in np.random.SeedSequence(seed).spawn(n)]

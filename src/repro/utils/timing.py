@@ -1,0 +1,51 @@
+"""Wall-clock timing helpers used by the training loop and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["Timer", "timed"]
+
+
+class Timer:
+    """Accumulating stopwatch.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.n_intervals = 0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self.n_intervals += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        return self.elapsed / self.n_intervals if self.n_intervals else 0.0
+
+
+@contextmanager
+def timed(label: str, sink=None):
+    """Context manager printing (or collecting) the elapsed time."""
+    start = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - start
+    message = f"{label}: {elapsed:.3f}s"
+    if sink is None:
+        print(message)
+    else:
+        sink(message)

@@ -1,0 +1,96 @@
+"""Lyapunov analysis (paper Sec. IV / Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import estimate_lyapunov, finite_time_exponents, perturb_velocity
+from repro.data import band_limited_vorticity
+from repro.ns import SpectralNSSolver2D, velocity_from_vorticity
+
+RNG = np.random.default_rng(141)
+
+
+class TestPerturbVelocity:
+    def test_exact_initial_separation(self):
+        omega = band_limited_vorticity(32, RNG)
+        u = velocity_from_vorticity(omega)
+        up = perturb_velocity(u, delta0=1e-2, rng=np.random.default_rng(0))
+        assert np.linalg.norm(up[0] - u[0]) == pytest.approx(1e-2, rel=1e-10)
+
+    def test_perturbation_solenoidal(self):
+        from repro.ns import divergence
+
+        omega = band_limited_vorticity(32, RNG)
+        u = velocity_from_vorticity(omega)
+        up = perturb_velocity(u, 1e-2, rng=np.random.default_rng(1))
+        assert np.abs(divergence(up)).max() < 1e-10
+
+
+class TestFiniteTimeExponents:
+    def test_pure_exponential(self):
+        times = np.linspace(0.1, 2.0, 20)
+        sep = 1e-3 * np.exp(1.7 * times)
+        lam = finite_time_exponents(times, sep, 1e-3)
+        assert np.allclose(lam, 1.7)
+
+    def test_rejects_zero_times(self):
+        with pytest.raises(ValueError):
+            finite_time_exponents(np.array([0.0, 1.0]), np.array([1.0, 2.0]), 1.0)
+
+
+class TestEstimateLyapunov:
+    def _pair(self, n=32, re=2000, seed=3):
+        nu = 2 * np.pi / re
+        omega = band_limited_vorticity(n, np.random.default_rng(seed), k_peak=4.0)
+        u = velocity_from_vorticity(omega)
+        a = SpectralNSSolver2D(n, nu)
+        b = SpectralNSSolver2D(n, nu)
+        a.set_velocity(u)
+        b.set_velocity(perturb_velocity(u, 1e-3, rng=np.random.default_rng(seed + 1)))
+        return a, b
+
+    def test_chaotic_flow_positive_exponent(self):
+        a, b = self._pair()
+        result = estimate_lyapunov(a, b, duration=3.0, n_snapshots=30)
+        assert result.max_exponent > 0
+        assert result.lyapunov_time == pytest.approx(1.0 / result.max_exponent)
+
+    def test_result_shapes(self):
+        a, b = self._pair()
+        result = estimate_lyapunov(a, b, duration=1.0, n_snapshots=10)
+        assert result.times.shape == (10,)
+        assert result.separation.shape == (2, 10)
+        assert result.delta0.shape == (2,)
+        assert result.exponents.shape == (2,)
+        assert result.lambda_series.shape == (2, 10)
+
+    def test_separation_grows_for_chaos(self):
+        a, b = self._pair()
+        result = estimate_lyapunov(a, b, duration=3.0, n_snapshots=20)
+        assert result.separation[0, -1] > result.separation[0, 0]
+
+    def test_laminar_flow_nonpositive_exponent(self):
+        """A Taylor–Green vortex is a stable exact solution: perturbations
+        decay viscously, so the estimated exponent must not be positive."""
+        n, nu = 32, 0.05
+        x = np.arange(n) * 2 * np.pi / n
+        X, Y = np.meshgrid(x, x, indexing="ij")
+        omega = 2 * np.cos(X) * np.cos(Y)
+        u = velocity_from_vorticity(omega)
+        a = SpectralNSSolver2D(n, nu)
+        b = SpectralNSSolver2D(n, nu)
+        a.set_velocity(u)
+        b.set_velocity(perturb_velocity(u, 1e-4, rng=np.random.default_rng(0)))
+        result = estimate_lyapunov(a, b, duration=5.0, n_snapshots=20, saturation_fraction=1.1)
+        assert result.max_exponent < 0.1
+
+    def test_identical_ics_rejected(self):
+        a, b = self._pair()
+        b.set_vorticity(a.vorticity)
+        with pytest.raises(ValueError):
+            estimate_lyapunov(a, b, duration=1.0)
+
+    def test_snapshot_validation(self):
+        a, b = self._pair()
+        with pytest.raises(ValueError):
+            estimate_lyapunov(a, b, duration=1.0, n_snapshots=1)

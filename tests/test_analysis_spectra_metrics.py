@@ -1,0 +1,102 @@
+"""Energy spectra and error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    energy_spectrum,
+    enstrophy_spectrum,
+    per_snapshot_relative_l2,
+    percentage_error,
+    relative_l2,
+    rollout_global_errors,
+)
+from repro.data import band_limited_vorticity
+from repro.ns import enstrophy, kinetic_energy, velocity_from_vorticity
+
+RNG = np.random.default_rng(151)
+
+
+class TestSpectra:
+    def test_parseval_energy(self):
+        omega = band_limited_vorticity(64, RNG, k_peak=6.0, k_width=2.0)
+        u = velocity_from_vorticity(omega)
+        k, E = energy_spectrum(u)
+        assert E.sum() == pytest.approx(kinetic_energy(u), rel=1e-6)
+
+    def test_parseval_enstrophy(self):
+        omega = band_limited_vorticity(64, RNG, k_peak=6.0, k_width=2.0)
+        k, Z = enstrophy_spectrum(omega)
+        assert Z.sum() == pytest.approx(enstrophy(omega), rel=1e-6)
+
+    def test_single_mode_lands_in_right_shell(self):
+        n = 64
+        x = np.arange(n) * 2 * np.pi / n
+        omega = np.cos(5 * x)[:, None] * np.ones((1, n))
+        k, Z = enstrophy_spectrum(omega)
+        assert k[np.argmax(Z)] == pytest.approx(5.0)
+
+    def test_spectrum_nonnegative(self):
+        omega = band_limited_vorticity(32, RNG)
+        _, E = energy_spectrum(velocity_from_vorticity(omega))
+        assert np.all(E >= 0)
+
+    def test_shell_count(self):
+        k, E = energy_spectrum(RNG.standard_normal((2, 32, 32)))
+        assert k.shape == E.shape
+        assert len(k) == 16  # n//2 shells after dropping the mean
+
+
+class TestRelativeL2:
+    def test_zero_for_equal(self):
+        a = RNG.standard_normal((4, 4))
+        assert relative_l2(a, a) == 0.0
+
+    def test_one_for_zero_prediction(self):
+        a = RNG.standard_normal((4, 4))
+        assert relative_l2(np.zeros_like(a), a) == pytest.approx(1.0)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            relative_l2(np.ones((2, 2)), np.zeros((2, 2)))
+
+
+class TestPerSnapshotRelativeL2:
+    def test_manual_agreement(self):
+        B, n_snap, nf, n = 3, 4, 2, 8
+        pred = RNG.standard_normal((B, n_snap * nf, n, n))
+        true = RNG.standard_normal((B, n_snap * nf, n, n))
+        errs = per_snapshot_relative_l2(pred, true, n_fields=nf)
+        assert errs.shape == (n_snap,)
+        # manual for snapshot 0
+        p = pred.reshape(B, n_snap, nf, n, n)[:, 0].reshape(B, -1)
+        t = true.reshape(B, n_snap, nf, n, n)[:, 0].reshape(B, -1)
+        manual = (np.linalg.norm(p - t, axis=1) / np.linalg.norm(t, axis=1)).mean()
+        assert errs[0] == pytest.approx(manual)
+
+    def test_zero_for_perfect(self):
+        pred = RNG.standard_normal((2, 6, 4, 4))
+        assert np.allclose(per_snapshot_relative_l2(pred, pred, n_fields=2), 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            per_snapshot_relative_l2(np.zeros((1, 4, 2, 2)), np.zeros((1, 6, 2, 2)))
+        with pytest.raises(ValueError):
+            per_snapshot_relative_l2(np.zeros((1, 5, 2, 2)), np.zeros((1, 5, 2, 2)), n_fields=2)
+
+
+class TestPercentageError:
+    def test_values(self):
+        assert percentage_error(np.array([1.1]), np.array([1.0]))[0] == pytest.approx(10.0)
+
+    def test_series(self):
+        pred = np.array([1.0, 2.0, 3.0])
+        true = np.array([1.0, 1.0, 2.0])
+        assert np.allclose(percentage_error(pred, true), [0.0, 100.0, 50.0])
+
+    def test_rollout_global_errors_matching_keys(self):
+        ref = {"kinetic_energy": np.array([1.0, 2.0]), "enstrophy": np.array([3.0, 4.0])}
+        pred = {"kinetic_energy": np.array([1.1, 2.0]), "other": np.array([0.0, 0.0])}
+        out = rollout_global_errors(pred, ref)
+        assert set(out) == {"kinetic_energy"}
+        assert out["kinetic_energy"][0] == pytest.approx(10.0)

@@ -1,0 +1,84 @@
+"""Spectral-bias diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import band_energy_errors, rollout_spectral_drift, spectral_fidelity
+from repro.data import band_limited_vorticity
+from repro.ns import velocity_from_vorticity, wavenumbers
+
+
+def _velocity(n=64, seed=0, k_peak=8.0, k_width=4.0):
+    omega = band_limited_vorticity(n, np.random.default_rng(seed), k_peak=k_peak, k_width=k_width)
+    return velocity_from_vorticity(omega)
+
+
+def _lowpass(u: np.ndarray, k_cut: float) -> np.ndarray:
+    """Remove all modes above ``k_cut`` (mimics a spectrally biased model)."""
+    n = u.shape[-1]
+    _, _, k2 = wavenumbers(n)
+    mask = (np.sqrt(k2) <= k_cut).astype(float)
+    out = np.empty_like(u)
+    for c in range(2):
+        out[c] = np.fft.irfft2(np.fft.rfft2(u[c]) * mask, s=(n, n))
+    return out
+
+
+class TestBandEnergyErrors:
+    def test_zero_for_identical(self):
+        u = _velocity()
+        res = band_energy_errors(u, u)
+        assert np.allclose(res["errors"], 0.0)
+        assert res["band_edges"].shape == (5,)
+
+    def test_lowpass_model_fails_high_bands_only(self):
+        u = _velocity()
+        biased = _lowpass(u, k_cut=8.0)
+        res = band_energy_errors(biased, u, n_bands=4)
+        # Lowest band intact, highest band fully missing.
+        assert res["errors"][0] < 0.05
+        assert res["errors"][-1] > 0.9
+
+    def test_band_count(self):
+        u = _velocity()
+        assert band_energy_errors(u, u, n_bands=6)["errors"].shape == (6,)
+
+
+class TestSpectralFidelity:
+    def test_perfect_prediction_reaches_nyquist(self):
+        u = _velocity()
+        k_fid = spectral_fidelity(u, u)
+        k, _ = __import__("repro.analysis", fromlist=["energy_spectrum"]).energy_spectrum(u)
+        assert k_fid == pytest.approx(k[-1])
+
+    def test_lowpass_detected_at_cutoff(self):
+        u = _velocity(k_peak=8.0, k_width=5.0)
+        biased = _lowpass(u, k_cut=10.0)
+        k_fid = spectral_fidelity(biased, u, tolerance=0.5)
+        assert 8.0 <= k_fid <= 13.0
+
+    def test_sharper_cutoff_lower_fidelity(self):
+        u = _velocity(k_peak=8.0, k_width=5.0)
+        f_low = spectral_fidelity(_lowpass(u, 6.0), u)
+        f_high = spectral_fidelity(_lowpass(u, 12.0), u)
+        assert f_low < f_high
+
+
+class TestRolloutSpectralDrift:
+    def test_shape_and_monotone_bias(self):
+        u = _velocity()
+        T = 4
+        ref = np.stack([u] * T)
+        # Predictions lose progressively more high-k content over time.
+        pred = np.stack([_lowpass(u, 24.0 / (t + 1)) for t in range(T)])
+        drift = rollout_spectral_drift(pred, ref, n_bands=3)
+        assert drift.shape == (T, 3)
+        # High band error grows along the roll-out.
+        assert drift[-1, -1] >= drift[0, -1]
+        # At every time, high bands are at least as wrong as low bands.
+        assert np.all(drift[:, -1] >= drift[:, 0] - 1e-12)
+
+    def test_shape_mismatch_rejected(self):
+        u = _velocity()
+        with pytest.raises(ValueError):
+            rollout_spectral_drift(np.stack([u]), np.stack([u, u]))

@@ -1,0 +1,113 @@
+"""Global statistics and separation/projection curves (Figs. 1–3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    correlation_coefficient,
+    divergence_evolution,
+    frobenius_evolution,
+    global_enstrophy_evolution,
+    initial_projection,
+    kinetic_energy_evolution,
+    l2_separation,
+    mean_evolution,
+    std_evolution,
+    trajectory_statistics,
+)
+
+RNG = np.random.default_rng(131)
+
+
+class TestStatistics:
+    def test_mean_evolution(self):
+        traj = np.stack([np.full((4, 4), 2.0), np.full((4, 4), -1.0)])
+        assert np.allclose(mean_evolution(traj), [2.0, -1.0])
+
+    def test_std_evolution(self):
+        traj = RNG.standard_normal((3, 8, 8))
+        expected = [traj[t].std() for t in range(3)]
+        assert np.allclose(std_evolution(traj), expected)
+
+    def test_frobenius(self):
+        traj = np.ones((2, 3, 3))
+        assert np.allclose(frobenius_evolution(traj), [3.0, 3.0])
+
+    def test_global_enstrophy_removes_mean(self):
+        traj = np.stack([np.full((4, 4), 5.0)])  # constant field: zero fluctuation
+        assert global_enstrophy_evolution(traj)[0] == pytest.approx(0.0)
+
+    def test_global_enstrophy_equals_frobenius_sq_for_zero_mean(self):
+        traj = RNG.standard_normal((2, 8, 8))
+        traj -= traj.reshape(2, -1).mean(axis=1)[:, None, None]
+        assert np.allclose(global_enstrophy_evolution(traj), frobenius_evolution(traj) ** 2)
+
+    def test_kinetic_energy_evolution(self):
+        vel = np.ones((2, 2, 4, 4))
+        assert np.allclose(kinetic_energy_evolution(vel), [1.0, 1.0])
+
+    def test_divergence_evolution_zero_for_solenoidal(self):
+        from repro.data import band_limited_vorticity
+        from repro.ns import velocity_from_vorticity
+
+        omega = band_limited_vorticity(16, RNG)
+        vel = velocity_from_vorticity(omega)[None]
+        assert divergence_evolution(vel)[0] < 1e-12
+
+    def test_trajectory_statistics_keys(self):
+        vort = RNG.standard_normal((3, 8, 8))
+        vel = RNG.standard_normal((3, 2, 8, 8))
+        stats = trajectory_statistics(vort, vel)
+        assert {"mean", "std", "frobenius", "global_enstrophy",
+                "kinetic_energy", "rms_divergence"} <= set(stats)
+        stats_no_vel = trajectory_statistics(vort)
+        assert "kinetic_energy" not in stats_no_vel
+
+
+class TestSeparation:
+    def test_zero_at_t0(self):
+        traj = RNG.standard_normal((4, 8, 8))
+        assert l2_separation(traj)[0] == 0.0
+
+    def test_scaling_invariance(self):
+        traj = RNG.standard_normal((4, 8, 8))
+        assert np.allclose(l2_separation(traj), l2_separation(5.0 * traj))
+
+    def test_known_value(self):
+        traj = np.stack([np.ones((2, 2)), 3.0 * np.ones((2, 2))])
+        assert l2_separation(traj)[1] == pytest.approx(2.0)
+
+    def test_zero_initial_rejected(self):
+        with pytest.raises(ValueError):
+            l2_separation(np.zeros((3, 4, 4)))
+
+
+class TestProjection:
+    def test_unity_at_t0(self):
+        traj = RNG.standard_normal((4, 8, 8))
+        assert initial_projection(traj)[0] == pytest.approx(1.0)
+
+    def test_halved_field(self):
+        traj = np.stack([np.ones((2, 2)), 0.5 * np.ones((2, 2))])
+        assert initial_projection(traj)[1] == pytest.approx(0.5)
+
+    def test_orthogonal_field(self):
+        a = np.array([[1.0, -1.0], [1.0, -1.0]])
+        b = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert initial_projection(np.stack([a, b]))[1] == pytest.approx(0.0)
+
+    def test_correlation_bounded(self):
+        traj = RNG.standard_normal((10, 8, 8))
+        corr = correlation_coefficient(traj)
+        assert np.all(np.abs(corr) <= 1.0 + 1e-12)
+        assert corr[0] == pytest.approx(1.0)
+
+    def test_correlation_decays_for_decorrelating_dynamics(self):
+        """Chaotic evolution: later snapshots decorrelate from the IC."""
+        from repro.data import DataGenConfig, generate_sample
+
+        cfg = DataGenConfig(n=32, reynolds=800, n_samples=1, warmup=0.2, duration=1.0,
+                            sample_interval=0.25, solver="spectral", ic="band")
+        s = generate_sample(cfg, np.random.default_rng(2))
+        corr = correlation_coefficient(s.vorticity)
+        assert corr[-1] < corr[1] < 1.0 + 1e-9

@@ -1,0 +1,92 @@
+"""Field visualisation (PPM export, colormap, ASCII preview)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_render, save_field_ppm, save_field_row_ppm, vorticity_to_rgb
+
+RNG = np.random.default_rng(231)
+
+
+class TestColormap:
+    def test_shape_and_dtype(self):
+        img = vorticity_to_rgb(RNG.standard_normal((8, 8)))
+        assert img.shape == (8, 8, 3)
+        assert img.dtype == np.uint8
+
+    def test_zero_maps_to_midgray(self):
+        img = vorticity_to_rgb(np.zeros((4, 4)), vmax=1.0)
+        assert np.all(img == img[0, 0])
+        assert 200 <= img[0, 0, 0] <= 230  # light gray midpoint
+
+    def test_extremes_map_to_anchors(self):
+        field = np.array([[-1.0, 1.0]])
+        img = vorticity_to_rgb(field, vmax=1.0)
+        assert img[0, 0, 2] > img[0, 0, 0]  # negative → blue dominant
+        assert img[0, 1, 0] > img[0, 1, 2]  # positive → red dominant
+
+    def test_clipping_beyond_vmax(self):
+        a = vorticity_to_rgb(np.array([[5.0]]), vmax=1.0)
+        b = vorticity_to_rgb(np.array([[1.0]]), vmax=1.0)
+        assert np.array_equal(a, b)
+
+    def test_upscale(self):
+        img = vorticity_to_rgb(np.zeros((4, 4)), vmax=1.0, upscale=3)
+        assert img.shape == (12, 12, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vorticity_to_rgb(np.zeros(4))
+        with pytest.raises(ValueError):
+            vorticity_to_rgb(np.zeros((4, 4)), vmax=-1.0)
+
+    def test_constant_zero_field_safe(self):
+        img = vorticity_to_rgb(np.zeros((4, 4)))
+        assert np.isfinite(img).all()
+
+
+class TestPPM:
+    def test_single_field_file(self, tmp_path):
+        path = save_field_ppm(tmp_path / "field.ppm", RNG.standard_normal((16, 16)), upscale=2)
+        blob = path.read_bytes()
+        assert blob.startswith(b"P6\n32 32\n255\n")
+        assert len(blob) == len(b"P6\n32 32\n255\n") + 32 * 32 * 3
+
+    def test_row_layout(self, tmp_path):
+        fields = [RNG.standard_normal((8, 8)) for _ in range(3)]
+        path = save_field_row_ppm(tmp_path / "row.ppm", fields, upscale=1, gap=2)
+        header = path.read_bytes().split(b"\n", 3)
+        w, h = map(int, header[1].split())
+        assert h == 8
+        assert w == 3 * 8 + 2 * 2  # three panels + two gaps
+
+    def test_row_shared_colour_range(self, tmp_path):
+        # A small-amplitude field next to a large one must not saturate.
+        small = 0.1 * np.ones((4, 4))
+        large = np.ones((4, 4))
+        path = save_field_row_ppm(tmp_path / "row.ppm", [small, large], upscale=1, gap=0)
+        blob = path.read_bytes()
+        offset = len(b"P6\n8 4\n255\n")
+        img = np.frombuffer(blob[offset:], dtype=np.uint8).reshape(4, 8, 3)
+        # Left panel (small/10) must be much closer to mid-gray than right.
+        assert abs(int(img[0, 0, 0]) - 221) < abs(int(img[0, 7, 0]) - 221)
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_field_row_ppm(tmp_path / "x.ppm", [])
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_field_ppm(tmp_path / "a" / "b.ppm", np.zeros((4, 4)))
+        assert path.exists()
+
+
+class TestAscii:
+    def test_renders_lines(self):
+        art = ascii_render(RNG.standard_normal((32, 32)), width=16)
+        lines = art.split("\n")
+        assert len(lines) == 16
+        assert all(len(line) == 16 for line in lines)
+
+    def test_zero_field(self):
+        art = ascii_render(np.zeros((8, 8)), width=8)
+        assert set(art.replace("\n", "")) == {" "}

@@ -1,0 +1,143 @@
+"""Order-of-accuracy certification of every solver in the repo."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import ConvergenceResult, grid_refinement_study, observed_order
+from repro.lbm import LBMSolver2D, UnitSystem
+from repro.ns import BurgersSolver1D, FDNSSolver2D, SpectralNSSolver2D, velocity_from_vorticity, vorticity_from_velocity
+
+
+def taylor_green(n, k=1):
+    x = np.arange(n) * 2 * np.pi / n
+    X, Y = np.meshgrid(x, x, indexing="ij")
+    return 2 * k * np.cos(k * X) * np.cos(k * Y)
+
+
+class TestObservedOrder:
+    def test_exact_power_law(self):
+        res = [16, 32, 64]
+        errs = [1.0 / n**2 for n in res]
+        assert observed_order(res, errs) == pytest.approx(2.0, abs=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            observed_order([16], [0.1])
+        with pytest.raises(ValueError):
+            observed_order([16, 32], [0.1, 0.0])
+
+    def test_study_wrapper(self):
+        result = grid_refinement_study(
+            run=lambda n: np.full(4, 1.0 + 1.0 / n**3),
+            exact=lambda n: np.ones(4),
+            resolutions=[8, 16, 32],
+        )
+        assert isinstance(result, ConvergenceResult)
+        assert result.order == pytest.approx(3.0, abs=1e-8)
+
+    def test_norm_option(self):
+        result = grid_refinement_study(
+            run=lambda n: np.full(4, 1.0 + 1.0 / n),
+            exact=lambda n: np.ones(4),
+            resolutions=[8, 16],
+            norm="l2",
+        )
+        assert result.order == pytest.approx(1.0, abs=1e-8)
+        with pytest.raises(ValueError):
+            grid_refinement_study(lambda n: np.ones(2), lambda n: np.zeros(2), [4, 8], norm="sup")
+
+
+class TestSpatialOrders:
+    def test_fd_solver_second_order_in_space(self):
+        """Taylor–Green on the FD solver: spatial error ∝ h²."""
+        nu, t_final = 0.02, 0.5
+
+        def run(n):
+            s = FDNSSolver2D(n, nu, dt=1e-3)  # dt small so spatial error dominates
+            s.set_vorticity(taylor_green(n))
+            s.advance(t_final)
+            return s.vorticity
+
+        def exact(n):
+            return taylor_green(n) * np.exp(-2 * nu * t_final)
+
+        result = grid_refinement_study(run, exact, [16, 32, 64])
+        assert 1.7 < result.order < 2.4
+
+    def test_spectral_solver_beats_any_polynomial_order(self):
+        """On a band-limited exact solution the spectral solver's spatial
+        error is at round-off for every resolution — no measurable order,
+        errors simply tiny."""
+        nu, t_final = 0.02, 0.25
+        for n in (16, 32):
+            s = SpectralNSSolver2D(n, nu, dt=2e-3)
+            s.set_vorticity(taylor_green(n))
+            s.advance(t_final)
+            exact = taylor_green(n) * np.exp(-2 * nu * t_final)
+            assert np.abs(s.vorticity - exact).max() < 1e-10
+
+    def test_lbm_second_order_in_space(self):
+        """Diffusive-scaled LBM is 2nd-order accurate in the grid."""
+        t_final = 0.2
+
+        def run(n):
+            units = UnitSystem(n=n, reynolds=50, u0_lattice=0.02 * 32 / n)
+            s = LBMSolver2D.from_units(units, collision="bgk")
+            s.initialize(units.to_lattice_velocity(velocity_from_vorticity(taylor_green(n))))
+            s.step(units.steps_for_time(t_final))
+            integrated_time = s.steps_taken * units.time_scale
+            u = units.to_physical_velocity(s.velocity)
+            w = vorticity_from_velocity(u)
+            # Steps round to integers, so the actually integrated time is
+            # not exactly t_final; rescale by the exact decay of the gap.
+            return w * np.exp(-2 * units.viscosity_physical * (t_final - integrated_time))
+
+        def exact(n):
+            units = UnitSystem(n=n, reynolds=50)
+            return taylor_green(n) * np.exp(-2 * units.viscosity_physical * t_final)
+
+        result = grid_refinement_study(run, exact, [16, 32, 64])
+        assert result.order > 1.5
+
+
+class TestTemporalOrders:
+    def test_burgers_rk4_fourth_order_in_time(self):
+        """Fix the grid, refine dt: the IFRK4 error drops as dt⁴."""
+        n, nu, t_final = 64, 0.05, 0.5
+        x = np.arange(n) * 2 * np.pi / n
+        u0 = np.sin(x)
+
+        # Reference: very small dt.
+        ref = BurgersSolver1D(n, nu, dt=1e-4)
+        ref.set_state(u0)
+        ref.advance(t_final)
+        u_ref = ref.u
+
+        errors, inv_dts = [], []
+        for dt in (0.02, 0.01, 0.005):
+            s = BurgersSolver1D(n, nu, dt=dt)
+            s.set_state(u0)
+            s.advance(t_final)
+            errors.append(np.abs(s.u - u_ref).max())
+            inv_dts.append(1.0 / dt)
+        order = observed_order(inv_dts, errors)
+        assert 3.5 < order < 4.6
+
+    def test_fd_ssprk3_third_order_in_time(self):
+        n, nu, t_final = 32, 0.05, 0.4
+        w0 = taylor_green(n) + 0.3 * taylor_green(n, k=2)
+
+        ref = FDNSSolver2D(n, nu, dt=2e-4)
+        ref.set_vorticity(w0)
+        ref.advance(t_final)
+        w_ref = ref.vorticity
+
+        errors, inv_dts = [], []
+        for dt in (0.02, 0.01, 0.005):
+            s = FDNSSolver2D(n, nu, dt=dt)
+            s.set_vorticity(w0)
+            s.advance(t_final)
+            errors.append(np.abs(s.vorticity - w_ref).max())
+            inv_dts.append(1.0 / dt)
+        order = observed_order(inv_dts, errors)
+        assert 2.5 < order < 3.6

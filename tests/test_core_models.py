@@ -1,0 +1,97 @@
+"""Model builders and config dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChannelFNOConfig,
+    SpaceTimeFNOConfig,
+    Spatial3DChannelsConfig,
+    build_fno2d_channels,
+    build_fno3d,
+    build_fno3d_spatial_channels,
+    build_model,
+    parameter_count,
+)
+from repro.nn import FNO2d, FNO3d
+
+
+class TestConfigs:
+    def test_channel_config_channels(self):
+        cfg = ChannelFNOConfig(n_in=10, n_out=5, n_fields=2)
+        assert cfg.in_channels == 20
+        assert cfg.out_channels == 10
+
+    def test_spatial3d_config_channels(self):
+        cfg = Spatial3DChannelsConfig(n_in=4, n_out=2, n_fields=3)
+        assert cfg.in_channels == 12
+        assert cfg.out_channels == 6
+
+    def test_to_dict_kinds(self):
+        assert ChannelFNOConfig().to_dict()["kind"] == "channel_fno"
+        assert SpaceTimeFNOConfig().to_dict()["kind"] == "spacetime_fno"
+        assert Spatial3DChannelsConfig().to_dict()["kind"] == "spatial3d_channels"
+
+    def test_configs_are_frozen(self):
+        cfg = ChannelFNOConfig()
+        with pytest.raises(Exception):
+            cfg.width = 99
+
+
+class TestBuilders:
+    def test_dispatch(self):
+        rng = np.random.default_rng(0)
+        assert isinstance(build_model(ChannelFNOConfig(n_in=1, n_out=1, n_fields=1,
+                                                       modes1=2, modes2=2, width=4, n_layers=1), rng), FNO2d)
+        assert isinstance(build_model(SpaceTimeFNOConfig(n_fields=1, modes1=2, modes2=2,
+                                                         modes3=2, width=4, n_layers=1), rng), FNO3d)
+        assert isinstance(build_model(Spatial3DChannelsConfig(n_in=1, n_out=1, n_fields=1,
+                                                              modes1=2, modes2=2, modes3=2,
+                                                              width=4, n_layers=1), rng), FNO3d)
+
+    def test_dispatch_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            build_model(object())
+        with pytest.raises(TypeError):
+            parameter_count(object())
+
+    def test_builders_deterministic_given_rng(self):
+        cfg = ChannelFNOConfig(n_in=1, n_out=1, n_fields=1, modes1=2, modes2=2, width=4, n_layers=1)
+        a = build_fno2d_channels(cfg, rng=np.random.default_rng(3))
+        b = build_fno2d_channels(cfg, rng=np.random.default_rng(3))
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_spatial3d_builder_has_no_time_padding(self):
+        cfg = Spatial3DChannelsConfig(n_in=2, n_out=1, n_fields=3, modes1=2, modes2=2,
+                                      modes3=2, width=4, n_layers=1)
+        model = build_fno3d_spatial_channels(cfg, rng=np.random.default_rng(0))
+        assert model.time_padding == 0
+        assert model.in_channels == 6
+
+    def test_spacetime_builder_channels_are_fields(self):
+        cfg = SpaceTimeFNOConfig(n_fields=2, modes1=2, modes2=2, modes3=2, width=4, n_layers=1)
+        model = build_fno3d(cfg, rng=np.random.default_rng(0))
+        assert model.in_channels == 2
+        assert model.out_channels == 2
+
+
+class TestParameterCount:
+    @pytest.mark.parametrize("cfg", [
+        Spatial3DChannelsConfig(n_in=2, n_out=2, n_fields=3, modes1=3, modes2=3,
+                                modes3=2, width=6, n_layers=2),
+        Spatial3DChannelsConfig(n_in=1, n_out=1, n_fields=1, modes1=2, modes2=2,
+                                modes3=2, width=4, n_layers=1, append_grid=False),
+    ])
+    def test_spatial3d_formula_matches_instance(self, cfg):
+        model = build_fno3d_spatial_channels(cfg, rng=np.random.default_rng(0))
+        assert model.num_parameters() == parameter_count(cfg)
+
+    def test_divergence_free_adds_no_parameters(self):
+        base = ChannelFNOConfig(n_in=1, n_out=1, n_fields=2, modes1=3, modes2=3, width=6, n_layers=2)
+        df = ChannelFNOConfig(n_in=1, n_out=1, n_fields=2, modes1=3, modes2=3, width=6,
+                              n_layers=2, divergence_free=True)
+        m_base = build_fno2d_channels(base, rng=np.random.default_rng(0))
+        m_df = build_fno2d_channels(df, rng=np.random.default_rng(0))
+        assert m_base.num_parameters() == m_df.num_parameters()
+        assert parameter_count(base) == parameter_count(df)

@@ -1,0 +1,142 @@
+"""Iterative roll-out bookkeeping, verified with mock models."""
+
+import numpy as np
+import pytest
+
+from repro.core import rollout_channels, rollout_spacetime
+from repro.nn import Module
+
+
+class ShiftOracle(Module):
+    """Mock temporal-channel model that returns the *true* next snapshots
+    of a linear dynamical system x_{t+1} = A(x_t): here a circular shift.
+
+    With a perfect one-step oracle, the roll-out must reproduce the exact
+    trajectory — this pins down the window-shifting logic.
+    """
+
+    def __init__(self, n_in, n_out, n_fields=2, shift=1):
+        super().__init__()
+        self.in_channels = n_in * n_fields
+        self.out_channels = n_out * n_fields
+        self.n_fields = n_fields
+        self.n_out = n_out
+        self.shift = shift
+
+    def forward(self, x):
+        from repro.tensor import Tensor
+
+        data = x.data if hasattr(x, "data") else x
+        B, C, n1, n2 = data.shape
+        last = data[:, -self.n_fields :]
+        outs = []
+        current = last
+        for _ in range(self.n_out):
+            current = np.roll(current, self.shift, axis=-1)
+            outs.append(current)
+        return Tensor(np.concatenate(outs, axis=1))
+
+
+def exact_trajectory(x0, n_steps, shift=1):
+    """(n_steps, F, n, n) trajectory of the shift dynamics."""
+    out = [x0]
+    for _ in range(n_steps):
+        out.append(np.roll(out[-1], shift, axis=-1))
+    return np.stack(out[1:])
+
+
+RNG = np.random.default_rng(171)
+
+
+class TestRolloutChannels:
+    def _window(self, n_in=4, n_fields=2, n=8):
+        """Consistent input window for the shift dynamics."""
+        x0 = RNG.standard_normal((n_fields, n, n))
+        snaps = [x0]
+        for _ in range(n_in - 1):
+            snaps.append(np.roll(snaps[-1], 1, axis=-1))
+        window = np.concatenate(snaps, axis=0)[None]  # (1, n_in*F, n, n)
+        return window, snaps[-1]
+
+    @pytest.mark.parametrize("n_out", [1, 2, 4])
+    def test_perfect_model_exact_rollout(self, n_out):
+        n_in, nf = 4, 2
+        window, last = self._window(n_in, nf)
+        model = ShiftOracle(n_in, n_out, nf)
+        preds = rollout_channels(model, window, n_snapshots=8, n_fields=nf)
+        expected = exact_trajectory(last, 8).reshape(1, 8 * nf, 8, 8)
+        assert np.allclose(preds, expected)
+
+    def test_truncates_to_requested_snapshots(self):
+        window, _ = self._window()
+        model = ShiftOracle(4, 3, 2)
+        preds = rollout_channels(model, window, n_snapshots=7, n_fields=2)
+        assert preds.shape == (1, 14, 8, 8)  # 7 snapshots × 2 fields
+
+    def test_single_application_when_enough(self):
+        window, last = self._window()
+        model = ShiftOracle(4, 4, 2)
+        preds = rollout_channels(model, window, n_snapshots=3, n_fields=2)
+        expected = exact_trajectory(last, 3).reshape(1, 6, 8, 8)
+        assert np.allclose(preds, expected)
+
+    def test_normalizer_wrapping(self):
+        from repro.data import FieldNormalizer
+
+        window, last = self._window()
+        # A normalizer with nontrivial stats; oracle dynamics commute with
+        # the shift so prediction in normalised space is consistent only
+        # if encode/decode wrap correctly (shift commutes with affine maps).
+        norm = FieldNormalizer(n_fields=2)
+        norm.mean = np.array([1.0, -2.0])
+        norm.std = np.array([2.0, 0.5])
+        model = ShiftOracle(4, 2, 2)
+        preds = rollout_channels(model, window, n_snapshots=4, n_fields=2, normalizer=norm)
+        expected = exact_trajectory(last, 4).reshape(1, 8, 8, 8)
+        assert np.allclose(preds, expected)
+
+    def test_validation(self):
+        model = ShiftOracle(4, 2, 2)
+        with pytest.raises(ValueError):
+            rollout_channels(model, np.zeros((2, 8, 8)), 4)  # not 4-D
+        with pytest.raises(ValueError):
+            rollout_channels(model, np.zeros((1, 6, 8, 8)), 4)  # wrong channels
+
+
+class TestRolloutSpacetime:
+    class SpaceTimeOracle(Module):
+        def __init__(self, n_out, shift=1):
+            super().__init__()
+            self.n_out = n_out
+            self.shift = shift
+
+        def forward(self, x):
+            from repro.tensor import Tensor
+
+            data = x.data
+            last = data[..., -1]
+            outs = []
+            current = last
+            for _ in range(self.n_out):
+                current = np.roll(current, self.shift, axis=-1)
+                outs.append(current)
+            return Tensor(np.stack(outs, axis=-1))
+
+    def test_perfect_model_exact(self):
+        n_in = 3
+        x0 = RNG.standard_normal((1, 8, 8))
+        snaps = [x0]
+        for _ in range(n_in - 1):
+            snaps.append(np.roll(snaps[-1], 1, axis=-1))
+        block = np.stack(snaps, axis=-1)[None]  # (1, 1, 8, 8, 3)
+        model = self.SpaceTimeOracle(n_out=3)
+        preds = rollout_spacetime(model, block, n_windows=2)
+        assert preds.shape == (1, 1, 8, 8, 6)
+        expected = exact_trajectory(snaps[-1], 6)
+        for t in range(6):
+            assert np.allclose(preds[0, :, :, :, t], expected[t])
+
+    def test_validation(self):
+        model = self.SpaceTimeOracle(2)
+        with pytest.raises(ValueError):
+            rollout_spacetime(model, np.zeros((1, 8, 8, 3)), 2)

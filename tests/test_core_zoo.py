@@ -1,0 +1,78 @@
+"""Model checkpointing (save/load with config + normalizer)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChannelFNOConfig,
+    SpaceTimeFNOConfig,
+    build_fno2d_channels,
+    build_fno3d,
+    load_model,
+    save_model,
+)
+from repro.data import FieldNormalizer
+from repro.tensor import Tensor, no_grad
+
+RNG = np.random.default_rng(191)
+
+
+def test_channel_model_roundtrip(tmp_path):
+    cfg = ChannelFNOConfig(n_in=3, n_out=2, n_fields=2, modes1=4, modes2=4, width=8, n_layers=2)
+    model = build_fno2d_channels(cfg, rng=RNG)
+    path = tmp_path / "model.npz"
+    save_model(path, model, cfg)
+    loaded, loaded_cfg, norm = load_model(path)
+    assert loaded_cfg == cfg
+    assert norm is None
+    x = RNG.standard_normal((2, cfg.in_channels, 16, 16))
+    with no_grad():
+        assert np.array_equal(model(Tensor(x)).numpy(), loaded(Tensor(x)).numpy())
+
+
+def test_spacetime_model_roundtrip(tmp_path):
+    cfg = SpaceTimeFNOConfig(n_fields=1, modes1=2, modes2=2, modes3=2, width=4, n_layers=2)
+    model = build_fno3d(cfg, rng=RNG)
+    path = tmp_path / "m3.npz"
+    save_model(path, model, cfg)
+    loaded, loaded_cfg, _ = load_model(path)
+    x = RNG.standard_normal((1, 1, 8, 8, 6))
+    with no_grad():
+        assert np.array_equal(model(Tensor(x)).numpy(), loaded(Tensor(x)).numpy())
+
+
+def test_normalizer_persisted(tmp_path):
+    cfg = ChannelFNOConfig(n_in=2, n_out=1, n_fields=2, modes1=3, modes2=3, width=6, n_layers=2)
+    model = build_fno2d_channels(cfg, rng=RNG)
+    norm = FieldNormalizer(n_fields=2).fit(RNG.standard_normal((10, 4, 8, 8)) * 3 + 1)
+    path = tmp_path / "with_norm.npz"
+    save_model(path, model, cfg, norm)
+    _, _, loaded_norm = load_model(path)
+    x = RNG.standard_normal((4, 4, 8, 8))
+    assert np.allclose(loaded_norm.encode(x), norm.encode(x))
+
+
+def test_creates_parent_dirs(tmp_path):
+    cfg = ChannelFNOConfig(n_in=1, n_out=1, n_fields=1, modes1=2, modes2=2, width=4, n_layers=1)
+    model = build_fno2d_channels(cfg, rng=RNG)
+    path = tmp_path / "a" / "b" / "model.npz"
+    save_model(path, model, cfg)
+    assert path.exists()
+
+
+def test_unknown_kind_rejected(tmp_path):
+    import json
+
+    cfg = ChannelFNOConfig(n_in=1, n_out=1, n_fields=1, modes1=2, modes2=2, width=4, n_layers=1)
+    model = build_fno2d_channels(cfg, rng=RNG)
+    path = tmp_path / "model.npz"
+    save_model(path, model, cfg)
+    # Corrupt the header kind.
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files}
+    header = json.loads(bytes(arrays["header"]).decode())
+    header["config"]["kind"] = "transformer"
+    arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    with pytest.raises(ValueError, match="unknown model kind"):
+        load_model(path)

@@ -1,0 +1,127 @@
+"""Trajectory generation: configs, shapes, determinism, solver paths."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataGenConfig, generate_dataset, generate_sample
+from repro.ns import rms_velocity
+
+
+FAST = dict(n=16, reynolds=200, warmup=0.05, duration=0.1, sample_interval=0.05, ic="band")
+
+
+class TestConfig:
+    def test_defaults_paper_protocol(self):
+        cfg = DataGenConfig()
+        assert cfg.warmup == 0.5
+        assert cfg.sample_interval == 0.005
+        assert cfg.n_snapshots == 201  # t = 0 … t_c in steps of 0.005 t_c
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataGenConfig(solver="fem")
+        with pytest.raises(ValueError):
+            DataGenConfig(ic="vortex")
+        with pytest.raises(ValueError):
+            DataGenConfig(sample_interval=-0.1)
+
+    def test_n_snapshots(self):
+        cfg = DataGenConfig(duration=0.1, sample_interval=0.02)
+        assert cfg.n_snapshots == 6
+
+
+class TestGenerateSample:
+    @pytest.mark.parametrize("solver", ["spectral", "fd", "lbm"])
+    def test_shapes_and_times(self, solver):
+        cfg = DataGenConfig(solver=solver, n_samples=1, **FAST)
+        s = generate_sample(cfg, np.random.default_rng(0))
+        T = cfg.n_snapshots
+        assert s.vorticity.shape == (T, 16, 16)
+        assert s.velocity.shape == (T, 2, 16, 16)
+        assert s.times.shape == (T,)
+        assert s.times[0] == 0.0
+        assert s.grid_size == 16
+        assert s.n_snapshots == T
+
+    def test_times_monotone_uniform(self):
+        cfg = DataGenConfig(solver="spectral", **FAST)
+        s = generate_sample(cfg, np.random.default_rng(0))
+        diffs = np.diff(s.times)
+        assert np.allclose(diffs, diffs[0])
+
+    def test_reynolds_recorded_below_target(self):
+        """After warm-up the RMS velocity has decayed, so the effective Re
+        is below the nominal one — the paper's "7000–8000" spread."""
+        cfg = DataGenConfig(solver="spectral", **FAST)
+        s = generate_sample(cfg, np.random.default_rng(0))
+        assert 0 < s.reynolds <= cfg.reynolds * 1.05
+
+    def test_velocity_consistent_with_vorticity(self):
+        from repro.ns import vorticity_from_velocity
+
+        cfg = DataGenConfig(solver="spectral", **FAST)
+        s = generate_sample(cfg, np.random.default_rng(0))
+        back = vorticity_from_velocity(s.velocity[2])
+        assert np.allclose(back, s.vorticity[2], atol=1e-8)
+
+    def test_turbulence_decays_along_trajectory(self):
+        cfg = DataGenConfig(solver="spectral", n=32, reynolds=400, warmup=0.1,
+                            duration=0.5, sample_interval=0.1, ic="band")
+        s = generate_sample(cfg, np.random.default_rng(1))
+        rms = [rms_velocity(s.velocity[t]) for t in range(s.n_snapshots)]
+        assert rms[-1] < rms[0]
+
+    @pytest.mark.parametrize("forcing", ["kolmogorov", "ring"])
+    def test_forced_generation(self, forcing):
+        cfg = DataGenConfig(solver="spectral", n_samples=1, forcing=forcing,
+                            forcing_amplitude=0.5, forcing_k=2.0, **FAST)
+        s = generate_sample(cfg, np.random.default_rng(0))
+        assert np.isfinite(s.vorticity).all()
+
+    def test_forcing_validation(self):
+        with pytest.raises(ValueError):
+            DataGenConfig(forcing="gravity")
+        with pytest.raises(ValueError):
+            DataGenConfig(solver="lbm", forcing="ring")
+
+    def test_forced_sustains_energy_vs_decaying(self):
+        base = dict(n=32, reynolds=500, n_samples=1, warmup=0.5, duration=0.5,
+                    sample_interval=0.25, solver="spectral", ic="band")
+        forced = generate_sample(DataGenConfig(forcing="kolmogorov",
+                                               forcing_amplitude=1.0, forcing_k=2.0, **base),
+                                 np.random.default_rng(1))
+        decaying = generate_sample(DataGenConfig(**base), np.random.default_rng(1))
+        e = lambda s, t: float((s.velocity[t] ** 2).mean())
+        assert e(forced, -1) / e(forced, 0) > e(decaying, -1) / e(decaying, 0)
+
+    def test_lbm_interval_too_fine_raises(self):
+        cfg = DataGenConfig(solver="lbm", n=16, reynolds=100, sample_interval=1e-6,
+                            warmup=0.0, duration=1e-5)
+        with pytest.raises(ValueError, match="lattice step"):
+            generate_sample(cfg, np.random.default_rng(0))
+
+
+class TestGenerateDataset:
+    def test_sample_count_and_ids(self):
+        cfg = DataGenConfig(solver="spectral", n_samples=3, seed=1, **FAST)
+        samples = generate_dataset(cfg, n_workers=1)
+        assert [s.sample_id for s in samples] == [0, 1, 2]
+
+    def test_samples_differ(self):
+        cfg = DataGenConfig(solver="spectral", n_samples=2, seed=1, **FAST)
+        a, b = generate_dataset(cfg, n_workers=1)
+        assert not np.allclose(a.vorticity[0], b.vorticity[0])
+
+    def test_seed_determinism(self):
+        cfg = DataGenConfig(solver="spectral", n_samples=2, seed=5, **FAST)
+        run1 = generate_dataset(cfg, n_workers=1)
+        run2 = generate_dataset(cfg, n_workers=1)
+        for s1, s2 in zip(run1, run2):
+            assert np.array_equal(s1.vorticity, s2.vorticity)
+
+    def test_parallel_matches_serial(self):
+        cfg = DataGenConfig(solver="spectral", n_samples=2, seed=5, **FAST)
+        serial = generate_dataset(cfg, n_workers=1)
+        parallel = generate_dataset(cfg, n_workers=2)
+        for s1, s2 in zip(serial, parallel):
+            assert np.array_equal(s1.vorticity, s2.vorticity)

@@ -1,0 +1,80 @@
+"""Initial-condition generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import band_limited_vorticity, solenoidal_projection, uniform_random_velocity
+from repro.ns import divergence, rms_velocity, velocity_from_vorticity
+from repro.analysis import energy_spectrum
+
+
+class TestUniformRandomVelocity:
+    def test_shape(self):
+        assert uniform_random_velocity(16, np.random.default_rng(0)).shape == (2, 16, 16)
+
+    def test_divergence_free(self):
+        u = uniform_random_velocity(32, np.random.default_rng(1))
+        assert np.abs(divergence(u)).max() < 1e-10
+
+    def test_rms_normalised(self):
+        u = uniform_random_velocity(32, np.random.default_rng(2), u0=3.0)
+        assert rms_velocity(u) == pytest.approx(3.0, rel=1e-10)
+
+    def test_reproducible(self):
+        a = uniform_random_velocity(16, np.random.default_rng(7))
+        b = uniform_random_velocity(16, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = uniform_random_velocity(16, np.random.default_rng(1))
+        b = uniform_random_velocity(16, np.random.default_rng(2))
+        assert not np.allclose(a, b)
+
+    def test_zero_mean_flow(self):
+        u = uniform_random_velocity(32, np.random.default_rng(3))
+        assert abs(u.mean(axis=(1, 2))).max() < 1e-12
+
+
+class TestBandLimitedVorticity:
+    def test_shape(self):
+        assert band_limited_vorticity(16, np.random.default_rng(0)).shape == (16, 16)
+
+    def test_zero_mean(self):
+        omega = band_limited_vorticity(32, np.random.default_rng(1))
+        assert abs(omega.mean()) < 1e-12
+
+    def test_rms_velocity_normalised(self):
+        omega = band_limited_vorticity(32, np.random.default_rng(2), u0=2.0)
+        assert rms_velocity(velocity_from_vorticity(omega)) == pytest.approx(2.0, rel=1e-10)
+
+    def test_spectrum_peaks_near_k_peak(self):
+        omega = band_limited_vorticity(64, np.random.default_rng(3), k_peak=8.0, k_width=1.0)
+        u = velocity_from_vorticity(omega)
+        k, E = energy_spectrum(u)
+        k_star = k[np.argmax(E)]
+        assert 6.0 <= k_star <= 10.0
+
+    def test_no_nyquist_energy(self):
+        omega = band_limited_vorticity(16, np.random.default_rng(4), k_peak=8.0, k_width=4.0)
+        spec = np.fft.rfft2(omega)
+        assert np.abs(spec[8, :]).max() < 1e-10
+        assert np.abs(spec[:, -1]).max() < 1e-10
+
+
+class TestSolenoidalProjection:
+    def test_idempotent(self):
+        u = np.random.default_rng(5).standard_normal((2, 32, 32))
+        p1 = solenoidal_projection(u)
+        p2 = solenoidal_projection(p1)
+        assert np.allclose(p1, p2, atol=1e-10)
+
+    def test_removes_divergence(self):
+        u = np.random.default_rng(6).standard_normal((2, 32, 32))
+        assert np.abs(divergence(solenoidal_projection(u))).max() < 1e-10
+
+    def test_preserves_solenoidal_part(self):
+        from repro.data import band_limited_vorticity
+
+        omega = band_limited_vorticity(32, np.random.default_rng(7))
+        u = velocity_from_vorticity(omega)
+        assert np.allclose(solenoidal_projection(u), u, atol=1e-10)

@@ -1,0 +1,108 @@
+"""Shard IO and the mini-batch loader."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, load_samples, save_samples
+from repro.data.generation import TrajectorySample
+
+RNG = np.random.default_rng(121)
+
+
+def _sample(i=0, T=4, n=8):
+    return TrajectorySample(
+        times=np.arange(T) * 0.1,
+        vorticity=RNG.standard_normal((T, n, n)),
+        velocity=RNG.standard_normal((T, 2, n, n)),
+        reynolds=123.4,
+        sample_id=i,
+    )
+
+
+class TestShardIO:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "shard.npz"
+        samples = [_sample(0), _sample(1)]
+        save_samples(path, samples, {"note": "test"})
+        loaded, meta = load_samples(path)
+        assert meta == {"note": "test"}
+        assert len(loaded) == 2
+        for a, b in zip(samples, loaded):
+            assert np.allclose(a.vorticity, b.vorticity, atol=1e-6)  # float32 cast
+            assert np.allclose(a.velocity, b.velocity, atol=1e-6)
+            assert np.array_equal(a.times, b.times)
+            assert a.reynolds == pytest.approx(b.reynolds)
+            assert a.sample_id == b.sample_id
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "shard.npz"
+        save_samples(path, [_sample()])
+        assert path.exists()
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_samples(tmp_path / "x.npz", [])
+
+    def test_default_metadata(self, tmp_path):
+        path = tmp_path / "s.npz"
+        save_samples(path, [_sample()])
+        _, meta = load_samples(path)
+        assert meta == {}
+
+    def test_loaded_dtype_is_float64(self, tmp_path):
+        path = tmp_path / "s.npz"
+        save_samples(path, [_sample()])
+        loaded, _ = load_samples(path)
+        assert loaded[0].vorticity.dtype == np.float64
+
+
+class TestDataLoader:
+    def _xy(self, n=10):
+        return RNG.standard_normal((n, 2, 4, 4)), RNG.standard_normal((n, 1, 4, 4))
+
+    def test_batch_shapes(self):
+        x, y = self._xy(10)
+        loader = DataLoader(x, y, batch_size=4, shuffle=False)
+        batches = list(loader)
+        assert len(batches) == 3
+        assert batches[0][0].shape == (4, 2, 4, 4)
+        assert batches[2][0].shape == (2, 2, 4, 4)  # remainder
+
+    def test_len(self):
+        x, y = self._xy(10)
+        assert len(DataLoader(x, y, batch_size=4)) == 3
+        assert len(DataLoader(x, y, batch_size=4, drop_last=True)) == 2
+
+    def test_drop_last(self):
+        x, y = self._xy(10)
+        batches = list(DataLoader(x, y, batch_size=4, shuffle=False, drop_last=True))
+        assert len(batches) == 2
+        assert all(b[0].shape[0] == 4 for b in batches)
+
+    def test_no_shuffle_preserves_order(self):
+        x, y = self._xy(6)
+        loader = DataLoader(x, y, batch_size=3, shuffle=False)
+        (xb, _), _ = list(loader)
+        assert np.array_equal(xb.numpy(), x[:3])
+
+    def test_shuffle_changes_order_but_keeps_pairs(self):
+        x = np.arange(20, dtype=float).reshape(20, 1)
+        y = x * 10
+        loader = DataLoader(x, y, batch_size=20, shuffle=True, rng=3)
+        xb, yb = next(iter(loader))
+        assert not np.array_equal(xb.numpy(), x)  # shuffled
+        assert np.array_equal(yb.numpy(), xb.numpy() * 10)  # pairing intact
+
+    def test_epochs_reshuffle(self):
+        x = np.arange(30, dtype=float).reshape(30, 1)
+        loader = DataLoader(x, x, batch_size=30, shuffle=True, rng=0)
+        first = next(iter(loader))[0].numpy().copy()
+        second = next(iter(loader))[0].numpy().copy()
+        assert not np.array_equal(first, second)
+
+    def test_validation(self):
+        x, y = self._xy(4)
+        with pytest.raises(ValueError):
+            DataLoader(x, y[:2])
+        with pytest.raises(ValueError):
+            DataLoader(x, y, batch_size=0)

@@ -1,0 +1,151 @@
+"""Normalisers: roundtrips, statistics, cross-snapshot decoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import FieldNormalizer, UnitGaussianNormalizer, normalize_by_initial
+
+RNG = np.random.default_rng(111)
+
+
+class TestUnitGaussian:
+    @pytest.mark.parametrize("mode", ["channel", "pointwise"])
+    def test_encode_decode_roundtrip(self, mode):
+        data = RNG.standard_normal((20, 3, 8, 8)) * 5 + 2
+        norm = UnitGaussianNormalizer(mode=mode).fit(data)
+        assert np.allclose(norm.decode(norm.encode(data)), data)
+
+    def test_encoded_statistics(self):
+        data = RNG.standard_normal((50, 2, 8, 8)) * 3 + 1
+        enc = UnitGaussianNormalizer().fit(data).encode(data)
+        per_channel = enc.transpose(1, 0, 2, 3).reshape(2, -1)
+        assert np.allclose(per_channel.mean(axis=1), 0.0, atol=1e-10)
+        assert np.allclose(per_channel.std(axis=1), 1.0, atol=1e-10)
+
+    def test_pointwise_statistics(self):
+        data = RNG.standard_normal((100, 1, 4, 4)) * np.linspace(1, 4, 16).reshape(1, 1, 4, 4)
+        enc = UnitGaussianNormalizer(mode="pointwise").fit(data).encode(data)
+        assert np.allclose(enc.std(axis=0), 1.0, atol=1e-10)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            UnitGaussianNormalizer().encode(np.zeros((2, 2)))
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            UnitGaussianNormalizer(mode="global")
+
+    def test_constant_channel_eps_floor(self):
+        data = np.ones((10, 1, 4, 4))
+        norm = UnitGaussianNormalizer().fit(data)
+        enc = norm.encode(data)
+        assert np.isfinite(enc).all()
+        assert np.allclose(enc, 0.0)
+
+    def test_state_dict_roundtrip(self):
+        data = RNG.standard_normal((10, 2, 4, 4))
+        norm = UnitGaussianNormalizer().fit(data)
+        clone = UnitGaussianNormalizer.from_state_dict(norm.state_dict())
+        assert np.allclose(clone.encode(data), norm.encode(data))
+
+    @given(
+        scale=st.floats(min_value=0.1, max_value=100.0),
+        shift=st.floats(min_value=-50, max_value=50),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, scale, shift, seed):
+        data = np.random.default_rng(seed).standard_normal((8, 2, 4, 4)) * scale + shift
+        norm = UnitGaussianNormalizer().fit(data)
+        assert np.allclose(norm.decode(norm.encode(data)), data, rtol=1e-8, atol=1e-8)
+
+
+class TestFieldNormalizer:
+    def test_cross_snapshot_count(self):
+        """Fit on 5-snapshot inputs, decode 2-snapshot outputs — the case
+        the rollout and hybrid drivers rely on."""
+        X = RNG.standard_normal((10, 10, 8, 8)) * 3 + 1  # 5 snapshots × 2 fields
+        norm = FieldNormalizer(n_fields=2).fit(X)
+        Y = RNG.standard_normal((10, 4, 8, 8)) * 3 + 1  # 2 snapshots × 2 fields
+        assert np.allclose(norm.decode(norm.encode(Y)), Y)
+
+    def test_per_field_stats(self):
+        X = RNG.standard_normal((50, 6, 4, 4))
+        X[:, 0::2] = X[:, 0::2] * 10 + 5  # field 0 very different from field 1
+        norm = FieldNormalizer(n_fields=2).fit(X)
+        enc = norm.encode(X)
+        f0 = enc[:, 0::2].ravel()
+        f1 = enc[:, 1::2].ravel()
+        assert abs(f0.mean()) < 1e-10 and abs(f1.mean()) < 1e-10
+        assert f0.std() == pytest.approx(1.0, abs=1e-10)
+
+    def test_indivisible_channels_raise(self):
+        norm = FieldNormalizer(n_fields=2).fit(RNG.standard_normal((4, 4, 2, 2)))
+        with pytest.raises(ValueError):
+            norm.encode(RNG.standard_normal((4, 3, 2, 2)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            FieldNormalizer().encode(np.zeros((1, 2, 4, 4)))
+
+    def test_state_dict_roundtrip(self):
+        X = RNG.standard_normal((10, 4, 4, 4))
+        norm = FieldNormalizer(n_fields=2).fit(X)
+        clone = FieldNormalizer.from_state_dict(norm.state_dict())
+        assert np.allclose(clone.encode(X), norm.encode(X))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FieldNormalizer(n_fields=0)
+
+    def test_isotropic_shares_std(self):
+        X = RNG.standard_normal((30, 4, 8, 8))
+        X[:, 0::2] *= 5.0  # make field-0 much larger
+        norm = FieldNormalizer(n_fields=2, isotropic=True).fit(X)
+        assert norm.std[0] == norm.std[1]
+        # Round-trip still exact.
+        assert np.allclose(norm.decode(norm.encode(X)), X)
+
+    def test_isotropic_decode_preserves_solenoidality(self):
+        from repro.data import band_limited_vorticity
+        from repro.ns import divergence, velocity_from_vorticity
+
+        fields = np.stack([
+            velocity_from_vorticity(band_limited_vorticity(16, np.random.default_rng(s)))
+            for s in range(6)
+        ])
+        norm_iso = FieldNormalizer(n_fields=2, isotropic=True).fit(fields)
+        decoded = norm_iso.decode(norm_iso.encode(fields))
+        assert np.abs(divergence(decoded[0])).max() < 1e-10
+        # Even a *scaled* solenoidal field stays solenoidal under the
+        # isotropic affine map.
+        scaled = norm_iso.decode(2.0 * norm_iso.encode(fields))
+        assert np.abs(divergence(scaled[0])).max() < 1e-10
+
+    def test_isotropic_state_dict_roundtrip(self):
+        X = RNG.standard_normal((10, 4, 4, 4))
+        norm = FieldNormalizer(n_fields=2, isotropic=True).fit(X)
+        clone = FieldNormalizer.from_state_dict(norm.state_dict())
+        assert clone.isotropic
+        assert np.allclose(clone.encode(X), norm.encode(X))
+
+
+class TestNormalizeByInitial:
+    def test_first_snapshot_standardised(self):
+        traj = RNG.standard_normal((5, 8, 8)) * 4 + 3
+        normed = normalize_by_initial(traj)
+        assert normed[0].mean() == pytest.approx(0.0, abs=1e-10)
+        assert normed[0].std() == pytest.approx(1.0, abs=1e-10)
+
+    def test_shared_scaling_across_time(self):
+        traj = np.stack([np.full((4, 4), 2.0), np.full((4, 4), 6.0)])
+        traj[0, 0, 0] = 4.0  # give t=0 nonzero std
+        normed = normalize_by_initial(traj)
+        std0 = traj[0].std()
+        assert np.allclose(normed[1], (6.0 - traj[0].mean()) / std0)
+
+    def test_constant_initial_guarded(self):
+        traj = np.ones((3, 4, 4))
+        assert np.isfinite(normalize_by_initial(traj)).all()

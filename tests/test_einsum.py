@@ -1,0 +1,123 @@
+"""Differentiable einsum: forward agreement with numpy, gradients, errors."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, ops
+
+RNG = np.random.default_rng(7)
+
+
+def fd_grad(build, arrays, target, index, eps=1e-6):
+    flat = arrays[target].reshape(-1)
+    old = flat[index]
+    flat[index] = old + eps
+    fp = float(build(*[Tensor(a) for a in arrays]).data.sum())
+    flat[index] = old - eps
+    fm = float(build(*[Tensor(a) for a in arrays]).data.sum())
+    flat[index] = old
+    return (fp - fm) / (2 * eps)
+
+
+PATTERNS_TWO = [
+    ("ij,jk->ik", (3, 4), (4, 5)),
+    ("ij,kj->ik", (3, 4), (5, 4)),
+    ("bixy,ioxy->boxy", (2, 3, 4, 5), (3, 2, 4, 5)),
+    ("bi...,io->bo...", (2, 3, 4, 4), (3, 5)),
+    ("ij,j->i", (3, 4), (4,)),
+    ("abc,cd->abd", (2, 3, 4), (4, 2)),
+    ("ij,ij->", (3, 4), (3, 4)),
+]
+
+
+@pytest.mark.parametrize("subs,sa,sb", PATTERNS_TWO)
+def test_forward_matches_numpy(subs, sa, sb):
+    a, b = RNG.standard_normal(sa), RNG.standard_normal(sb)
+    out = ops.einsum(subs, Tensor(a), Tensor(b))
+    assert np.allclose(out.data, np.einsum(subs, a, b))
+
+
+@pytest.mark.parametrize("subs,sa,sb", PATTERNS_TWO)
+def test_gradients_both_operands(subs, sa, sb):
+    a, b = RNG.standard_normal(sa), RNG.standard_normal(sb)
+    ta, tb = Tensor(a.copy(), requires_grad=True), Tensor(b.copy(), requires_grad=True)
+    ops.einsum(subs, ta, tb).sum().backward()
+    build = lambda x, y: ops.einsum(subs, x, y)
+    for t, arrays_idx in ((ta, 0), (tb, 1)):
+        arrays = [a, b]
+        flat = t.grad.reshape(-1)
+        for i in RNG.choice(flat.size, size=min(5, flat.size), replace=False):
+            assert flat[i] == pytest.approx(fd_grad(build, arrays, arrays_idx, i), abs=1e-6)
+
+
+def test_single_operand_transpose_sum():
+    a = RNG.standard_normal((3, 4, 5))
+    ta = Tensor(a.copy(), requires_grad=True)
+    out = ops.einsum("ijk->kj", ta)  # sums over i, permutes
+    assert np.allclose(out.data, np.einsum("ijk->kj", a))
+    out.sum().backward()
+    assert np.allclose(ta.grad, np.ones_like(a))
+
+
+def test_single_operand_weighted_grad():
+    a = RNG.standard_normal((3, 4))
+    ta = Tensor(a.copy(), requires_grad=True)
+    out = ops.einsum("ij->j", ta)
+    w = RNG.standard_normal(4)
+    (out * w).sum().backward()
+    assert np.allclose(ta.grad, np.broadcast_to(w, (3, 4)))
+
+
+def test_requires_explicit_output():
+    with pytest.raises(ValueError, match="explicit output"):
+        ops.einsum("ij,jk", Tensor(np.ones((2, 2))), Tensor(np.ones((2, 2))))
+
+
+def test_rejects_trace(self=None):
+    with pytest.raises(ValueError, match="repeated"):
+        ops.einsum("ii->i", Tensor(np.ones((2, 2))))
+
+
+def test_rejects_uncovered_index():
+    # 'j' of the first operand is summed away and absent from the other
+    # operand AND the output of no gradient route — must raise.
+    with pytest.raises(ValueError, match="nowhere else"):
+        ops.einsum("ij,ik->k", Tensor(np.ones((2, 2))), Tensor(np.ones((2, 2))))
+
+
+def test_rejects_operand_count_mismatch():
+    with pytest.raises(ValueError, match="operands"):
+        ops.einsum("ij,jk->ik", Tensor(np.ones((2, 2))))
+
+
+def test_ellipsis_must_reach_output():
+    with pytest.raises(ValueError, match="ellipsis"):
+        ops.einsum("i...,io->o", Tensor(np.ones((2, 3))), Tensor(np.ones((2, 4))))
+
+
+def test_single_operand_ellipsis_unsupported():
+    with pytest.raises(NotImplementedError):
+        ops.einsum("i...->...", Tensor(np.ones((2, 3))))
+
+
+def test_ellipsis_broadcast_grad_for_non_ellipsis_operand():
+    # Gradient for the operand without '...' must sum the broadcast axes.
+    a = RNG.standard_normal((2, 3, 4, 4))
+    w = RNG.standard_normal((3, 5))
+    ta = Tensor(a.copy(), requires_grad=True)
+    tw = Tensor(w.copy(), requires_grad=True)
+    out = ops.einsum("bi...,io->bo...", ta, tw)
+    out.sum().backward()
+    expected_w = np.einsum("bixy->i", a)[:, None] * np.ones((1, 5))
+    assert np.allclose(tw.grad, expected_w)
+    expected_a = np.einsum("io->i", w)[None, :, None, None] * np.ones_like(a)
+    assert np.allclose(ta.grad, expected_a)
+
+
+def test_non_grad_operands_skip_computation():
+    a = Tensor(np.ones((2, 3)))
+    b = Tensor(np.ones((3, 4)), requires_grad=True)
+    out = ops.einsum("ij,jk->ik", a, b)
+    out.sum().backward()
+    assert a.grad is None
+    assert b.grad is not None

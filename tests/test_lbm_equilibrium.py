@@ -1,0 +1,109 @@
+"""Equilibrium distributions: conservation laws, positivity, limits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lbm import (
+    VELOCITIES,
+    WEIGHTS,
+    entropic_equilibrium,
+    h_function,
+    polynomial_equilibrium,
+)
+
+RNG = np.random.default_rng(51)
+
+
+def _moments(f):
+    rho = f.sum(axis=0)
+    mom = np.tensordot(VELOCITIES.astype(float).T, f, axes=(1, 0))
+    return rho, mom
+
+
+small_u = st.floats(min_value=-0.1, max_value=0.1, allow_nan=False)
+
+
+class TestConservation:
+    @pytest.mark.parametrize("eq", [polynomial_equilibrium, entropic_equilibrium])
+    def test_mass_and_momentum(self, eq):
+        rho = 1.0 + 0.05 * RNG.standard_normal((8, 8))
+        u = 0.08 * RNG.standard_normal((2, 8, 8))
+        feq = eq(rho, u)
+        rho2, mom = _moments(feq)
+        assert np.allclose(rho2, rho, atol=1e-12 if eq is entropic_equilibrium else 1e-3)
+        assert np.allclose(mom, rho * u, atol=1e-12 if eq is entropic_equilibrium else 1e-3)
+
+    @given(ux=small_u, uy=small_u)
+    @settings(max_examples=30, deadline=None)
+    def test_entropic_exact_conservation_property(self, ux, uy):
+        rho = np.ones((2, 2))
+        u = np.stack([np.full((2, 2), ux), np.full((2, 2), uy)])
+        feq = entropic_equilibrium(rho, u)
+        rho2, mom = _moments(feq)
+        assert np.allclose(rho2, 1.0, atol=1e-13)
+        assert np.allclose(mom[0], ux, atol=1e-13)
+        assert np.allclose(mom[1], uy, atol=1e-13)
+
+
+class TestLimits:
+    def test_zero_velocity_gives_weights(self):
+        rho = np.ones((4, 4))
+        u = np.zeros((2, 4, 4))
+        for eq in (polynomial_equilibrium, entropic_equilibrium):
+            feq = eq(rho, u)
+            assert np.allclose(feq, WEIGHTS[:, None, None])
+
+    def test_forms_agree_at_low_mach(self):
+        rho = np.ones((4, 4))
+        u = np.full((2, 4, 4), 0.01)
+        fp = polynomial_equilibrium(rho, u)
+        fe = entropic_equilibrium(rho, u)
+        assert np.allclose(fp, fe, atol=1e-6)
+
+    def test_forms_diverge_at_high_mach(self):
+        rho = np.ones((2, 2))
+        u = np.full((2, 2, 2), 0.3)
+        fp = polynomial_equilibrium(rho, u)
+        fe = entropic_equilibrium(rho, u)
+        assert np.abs(fp - fe).max() > 1e-3
+
+
+class TestPositivityAndEntropy:
+    def test_entropic_always_positive(self):
+        rho = np.ones((4, 4))
+        u = 0.4 * (RNG.random((2, 4, 4)) - 0.5)
+        assert np.all(entropic_equilibrium(rho, u) > 0)
+
+    def test_polynomial_can_go_negative(self):
+        # The second-order expansion loses positivity at high speed.
+        rho = np.ones((1, 1))
+        u = np.zeros((2, 1, 1))
+        u[0] = 0.9
+        assert polynomial_equilibrium(rho, u).min() < 0
+
+    def test_entropic_velocity_bound(self):
+        rho = np.ones((1, 1))
+        u = np.ones((2, 1, 1))
+        with pytest.raises(ValueError):
+            entropic_equilibrium(rho, u)
+
+    def test_equilibrium_minimises_h(self):
+        """Among states with the same (ρ, u), the entropic equilibrium has
+        the lowest H — spot-checked against random perturbations that
+        conserve the moments."""
+        rho = np.ones((1, 1))
+        u = np.full((2, 1, 1), 0.05)
+        feq = entropic_equilibrium(rho, u)
+        h_eq = h_function(feq)[0, 0]
+        # Conserving perturbation: add a vector orthogonal to {1, c_x, c_y}.
+        basis = np.stack([np.ones(9), VELOCITIES[:, 0], VELOCITIES[:, 1]]).astype(float)
+        for _ in range(10):
+            v = RNG.standard_normal(9)
+            # Project out conserved directions.
+            for b in basis:
+                v -= (v @ b) / (b @ b) * b
+            fpert = feq + 1e-3 * v[:, None, None]
+            if np.all(fpert > 0):
+                assert h_function(fpert)[0, 0] >= h_eq - 1e-12

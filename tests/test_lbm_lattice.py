@@ -1,0 +1,63 @@
+"""D2Q9 lattice constants: quadrature identities the method relies on."""
+
+import numpy as np
+
+from repro.lbm import CS2, OPPOSITE, Q, VELOCITIES, WEIGHTS
+
+
+def test_nine_velocities():
+    assert VELOCITIES.shape == (Q, 2)
+    assert WEIGHTS.shape == (Q,)
+
+
+def test_weights_normalised():
+    np.testing.assert_allclose(WEIGHTS.sum(), 1.0)
+
+
+def test_weights_positive():
+    assert np.all(WEIGHTS > 0)
+
+
+def test_first_moment_zero():
+    """Σ w_i c_i = 0 (isotropy)."""
+    assert np.allclose(WEIGHTS @ VELOCITIES.astype(float), 0.0)
+
+
+def test_second_moment_is_cs2():
+    """Σ w_i c_iα c_iβ = c_s² δ_αβ."""
+    second = np.einsum("i,ia,ib->ab", WEIGHTS, VELOCITIES.astype(float), VELOCITIES.astype(float))
+    assert np.allclose(second, CS2 * np.eye(2))
+
+
+def test_third_moment_zero():
+    third = np.einsum(
+        "i,ia,ib,ic->abc",
+        WEIGHTS,
+        VELOCITIES.astype(float),
+        VELOCITIES.astype(float),
+        VELOCITIES.astype(float),
+    )
+    assert np.allclose(third, 0.0)
+
+
+def test_fourth_moment_isotropy():
+    """Σ w_i c_iα c_iβ c_iγ c_iδ = c_s⁴ (δαβ δγδ + δαγ δβδ + δαδ δβγ)."""
+    c = VELOCITIES.astype(float)
+    fourth = np.einsum("i,ia,ib,ic,id->abcd", WEIGHTS, c, c, c, c)
+    eye = np.eye(2)
+    expected = CS2**2 * (
+        np.einsum("ab,cd->abcd", eye, eye)
+        + np.einsum("ac,bd->abcd", eye, eye)
+        + np.einsum("ad,bc->abcd", eye, eye)
+    )
+    assert np.allclose(fourth, expected)
+
+
+def test_opposite_pairs():
+    for i in range(Q):
+        assert np.array_equal(VELOCITIES[OPPOSITE[i]], -VELOCITIES[i])
+        assert OPPOSITE[OPPOSITE[i]] == i
+
+
+def test_velocity_components_bounded():
+    assert np.all(np.abs(VELOCITIES) <= 1)

@@ -1,0 +1,113 @@
+"""Multiple-relaxation-time collision model."""
+
+import numpy as np
+import pytest
+
+from repro.lbm import (
+    MRT_MATRIX,
+    LBMSolver2D,
+    UnitSystem,
+    VELOCITIES,
+    bgk_collide,
+    mrt_collide,
+    polynomial_equilibrium,
+)
+from repro.ns import velocity_from_vorticity, vorticity_from_velocity
+
+RNG = np.random.default_rng(271)
+
+
+def _state(n=8, amp=0.05):
+    rho = np.ones((n, n))
+    u = 0.03 * RNG.standard_normal((2, n, n))
+    f = polynomial_equilibrium(rho, u) * (1.0 + amp * RNG.standard_normal((9, n, n)))
+    return np.maximum(f, 1e-8)
+
+
+class TestMomentBasis:
+    def test_rows_orthogonal(self):
+        gram = MRT_MATRIX @ MRT_MATRIX.T
+        assert np.allclose(gram, np.diag(np.diag(gram)))
+
+    def test_first_row_is_density(self):
+        assert np.array_equal(MRT_MATRIX[0], np.ones(9))
+
+    def test_momentum_rows(self):
+        assert np.array_equal(MRT_MATRIX[3], VELOCITIES[:, 0].astype(float))
+        assert np.array_equal(MRT_MATRIX[5], VELOCITIES[:, 1].astype(float))
+
+    def test_invertible(self):
+        assert abs(np.linalg.det(MRT_MATRIX)) > 1.0
+
+
+class TestMRTCollision:
+    def test_conserves_mass_and_momentum(self):
+        f = _state()
+        post = mrt_collide(f, tau=0.8)
+        assert np.allclose(post.sum(axis=0), f.sum(axis=0), atol=1e-13)
+        for c in range(2):
+            before = np.tensordot(VELOCITIES[:, c].astype(float), f, axes=(0, 0))
+            after = np.tensordot(VELOCITIES[:, c].astype(float), post, axes=(0, 0))
+            assert np.allclose(after, before, atol=1e-13)
+
+    def test_reduces_to_bgk_at_uniform_rates(self):
+        """All rates = 1/τ with the quadratic equilibrium ⇒ BGK exactly."""
+        f = _state()
+        tau = 0.8
+        rho = f.sum(axis=0)
+        u = np.tensordot(VELOCITIES.astype(float).T, f, axes=(1, 0)) / rho
+        post_mrt = mrt_collide(f, tau, s_e=1 / tau, s_eps=1 / tau, s_q=1 / tau)
+        post_bgk = bgk_collide(f, polynomial_equilibrium(rho, u), tau)
+        assert np.allclose(post_mrt, post_bgk, atol=1e-12)
+
+    def test_equilibrium_is_fixed_point(self):
+        rho = np.ones((8, 8))
+        u = 0.02 * RNG.standard_normal((2, 8, 8))
+        feq = polynomial_equilibrium(rho, u)
+        post = mrt_collide(feq, tau=0.7)
+        assert np.allclose(post, feq, atol=1e-12)
+
+
+class TestMRTSolver:
+    def test_taylor_green_viscosity(self):
+        """MRT's stress-moment rate sets the same ν = c_s²(τ−1/2) as BGK."""
+        n = 32
+        units = UnitSystem(n=n, reynolds=100, u0_lattice=0.03)
+        solver = LBMSolver2D.from_units(units, collision="mrt")
+        x = np.arange(n) * 2 * np.pi / n
+        X, Y = np.meshgrid(x, x, indexing="ij")
+        w0 = 2 * np.cos(X) * np.cos(Y)
+        solver.initialize(units.to_lattice_velocity(velocity_from_vorticity(w0)))
+        steps = units.steps_for_time(0.3)
+        solver.step(steps)
+        t = steps * units.time_scale
+        expected = w0 * np.exp(-2.0 * units.viscosity_physical * t)
+        got = vorticity_from_velocity(units.to_physical_velocity(solver.velocity))
+        assert np.abs(got - expected).max() / np.abs(expected).max() < 0.02
+
+    def test_more_stable_than_bgk_at_small_tau(self):
+        """Ghost-mode damping keeps MRT alive where BGK blows up."""
+        from repro.data import band_limited_vorticity
+
+        n = 32
+        units = UnitSystem(n=n, reynolds=30000, u0_lattice=0.1)
+        omega = band_limited_vorticity(n, np.random.default_rng(3), k_peak=8.0)
+        u_lat = units.to_lattice_velocity(velocity_from_vorticity(omega))
+
+        survived = {}
+        for collision in ("bgk", "mrt"):
+            solver = LBMSolver2D.from_units(units, collision=collision)
+            solver.initialize(u_lat)
+            alive = True
+            for _ in range(300):
+                solver.step()
+                if not np.isfinite(solver.f).all() or np.abs(solver.velocity).max() > 0.5:
+                    alive = False
+                    break
+            survived[collision] = alive
+        assert not survived["bgk"]
+        assert survived["mrt"]
+
+    def test_unknown_collision_rejected(self):
+        with pytest.raises(ValueError):
+            LBMSolver2D(8, 0.8, collision="trt")

@@ -1,0 +1,63 @@
+"""Unit-system bookkeeping: the lattice ↔ physical dictionary."""
+
+import numpy as np
+import pytest
+
+from repro.lbm import CS2, UnitSystem
+
+
+class TestValidation:
+    def test_supersonic_u0_rejected(self):
+        with pytest.raises(ValueError):
+            UnitSystem(n=32, reynolds=100, u0_lattice=0.8)
+
+    def test_negative_reynolds_rejected(self):
+        with pytest.raises(ValueError):
+            UnitSystem(n=32, reynolds=-5)
+
+
+class TestScales:
+    def test_tau_viscosity_consistency(self):
+        u = UnitSystem(n=64, reynolds=1000, u0_lattice=0.05)
+        assert u.viscosity_lattice == pytest.approx(CS2 * (u.tau - 0.5))
+
+    def test_reynolds_consistency_lattice(self):
+        u = UnitSystem(n=64, reynolds=1000, u0_lattice=0.05)
+        assert u.u0_lattice * u.n / u.viscosity_lattice == pytest.approx(1000)
+
+    def test_reynolds_consistency_physical(self):
+        u = UnitSystem(n=64, reynolds=1000)
+        assert u.u0 * u.length / u.viscosity_physical == pytest.approx(1000)
+
+    def test_steps_per_convective_time(self):
+        u = UnitSystem(n=64, reynolds=1000, u0_lattice=0.05)
+        assert u.steps_per_convective_time == pytest.approx(64 / 0.05)
+
+    def test_convective_time(self):
+        u = UnitSystem(n=32, reynolds=100, length=4.0, u0=2.0)
+        assert u.convective_time == pytest.approx(2.0)
+
+
+class TestConversions:
+    def test_velocity_roundtrip(self):
+        u = UnitSystem(n=32, reynolds=100)
+        vel = np.random.default_rng(0).standard_normal((2, 32, 32))
+        assert np.allclose(u.to_physical_velocity(u.to_lattice_velocity(vel)), vel)
+
+    def test_velocity_scale_definition(self):
+        u = UnitSystem(n=32, reynolds=100, u0=3.0, u0_lattice=0.05)
+        assert u.to_lattice_velocity(np.array([3.0]))[0] == pytest.approx(0.05)
+
+    def test_vorticity_scaling(self):
+        u = UnitSystem(n=32, reynolds=100)
+        # vorticity has units 1/time
+        assert u.to_physical_vorticity(np.array([1.0]))[0] == pytest.approx(1.0 / u.time_scale)
+
+    def test_steps_for_time_rounds(self):
+        u = UnitSystem(n=32, reynolds=100, u0_lattice=0.05)
+        assert u.steps_for_time(u.time_scale * 10.4) == 10
+        assert u.steps_for_time(u.time_scale * 10.6) == 11
+
+    def test_time_scale_chain(self):
+        u = UnitSystem(n=32, reynolds=100)
+        assert u.time_scale == pytest.approx(u.length_scale / u.velocity_scale)

@@ -1,0 +1,130 @@
+"""Loss functions: values, invariances, gradients, physics penalties."""
+
+import numpy as np
+import pytest
+
+from repro.nn import DivergenceLoss, H1Loss, LpLoss, MSELoss
+from repro.ns import velocity_from_vorticity
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(41)
+
+
+class TestLpLoss:
+    def test_zero_at_equality(self):
+        x = Tensor(RNG.standard_normal((3, 2, 8, 8)))
+        assert LpLoss()(x, x).item() < 1e-5
+
+    def test_scale_invariance(self):
+        """Relative error is unchanged when both fields are rescaled."""
+        pred = RNG.standard_normal((2, 1, 8, 8))
+        true = RNG.standard_normal((2, 1, 8, 8))
+        a = LpLoss()(Tensor(pred), Tensor(true)).item()
+        b = LpLoss()(Tensor(7.0 * pred), Tensor(7.0 * true)).item()
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_unit_error_for_zero_prediction(self):
+        true = Tensor(RNG.standard_normal((4, 1, 8, 8)))
+        pred = Tensor(np.zeros((4, 1, 8, 8)))
+        assert LpLoss()(pred, true).item() == pytest.approx(1.0, rel=1e-6)
+
+    def test_batch_mean(self):
+        # One perfect, one zero prediction → loss 0.5.
+        true = RNG.standard_normal((2, 1, 4, 4))
+        pred = true.copy()
+        pred[1] = 0.0
+        assert LpLoss()(Tensor(pred), Tensor(true)).item() == pytest.approx(0.5, abs=1e-4)
+
+    def test_rejects_other_p(self):
+        with pytest.raises(NotImplementedError):
+            LpLoss(p=3)
+
+    def test_gradient_direction(self):
+        # Gradient must point from true toward pred.
+        true = Tensor(np.zeros((1, 1, 4, 4)))
+        pred = Tensor(np.ones((1, 1, 4, 4)), requires_grad=True)
+        LpLoss(eps=1e-30)(pred, true + 1e-3).backward()
+        assert np.all(pred.grad > 0)
+
+
+class TestMSELoss:
+    def test_matches_numpy(self):
+        pred = RNG.standard_normal((3, 5))
+        true = RNG.standard_normal((3, 5))
+        assert MSELoss()(Tensor(pred), Tensor(true)).item() == pytest.approx(
+            np.mean((pred - true) ** 2)
+        )
+
+    def test_gradient(self):
+        pred = Tensor(RNG.standard_normal((3, 5)), requires_grad=True)
+        true = Tensor(np.zeros((3, 5)))
+        MSELoss()(pred, true).backward()
+        assert np.allclose(pred.grad, 2.0 * pred.data / 15)
+
+
+class TestH1Loss:
+    def test_zero_at_equality(self):
+        x = Tensor(RNG.standard_normal((2, 2, 8, 8)))
+        assert H1Loss()(x, x).item() < 1e-4
+
+    def test_penalises_gradient_mismatch_more(self):
+        """A high-frequency error costs more in H1 than in L2 relative to a
+        smooth error of the same L2 magnitude — the mechanism the paper
+        proposes to fix the growing enstrophy errors."""
+        n = 32
+        x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        X, Y = np.meshgrid(x, x, indexing="ij")
+        true = np.cos(X)[None, None]
+        smooth_err = 0.1 * np.cos(Y)[None, None]
+        rough_err = 0.1 * np.cos(8 * Y)[None, None]
+        # Same L2 error magnitude:
+        l2 = LpLoss()
+        h1 = H1Loss()
+        l2_smooth = l2(Tensor(true + smooth_err), Tensor(true)).item()
+        l2_rough = l2(Tensor(true + rough_err), Tensor(true)).item()
+        assert l2_smooth == pytest.approx(l2_rough, rel=1e-6)
+        h1_smooth = h1(Tensor(true + smooth_err), Tensor(true)).item()
+        h1_rough = h1(Tensor(true + rough_err), Tensor(true)).item()
+        assert h1_rough > 2.0 * h1_smooth
+
+    def test_gradient_flows(self):
+        pred = Tensor(RNG.standard_normal((1, 1, 8, 8)), requires_grad=True)
+        true = Tensor(RNG.standard_normal((1, 1, 8, 8)))
+        H1Loss()(pred, true).backward()
+        assert pred.grad is not None
+
+
+class TestDivergenceLoss:
+    def test_divergence_free_field_no_penalty(self):
+        # A smooth solenoidal field: central-difference divergence is tiny
+        # compared with a deliberately divergent field of the same size.
+        from repro.data import band_limited_vorticity
+
+        omega = band_limited_vorticity(32, RNG, k_peak=3.0)
+        u = velocity_from_vorticity(omega)
+        pred = u[None]  # (1, 2, 16, 16): one snapshot of (u_x, u_y)
+        loss = DivergenceLoss(weight=10.0)
+        div = loss.divergence(Tensor(pred)).numpy()
+        # Central differences of a spectrally solenoidal field: small but
+        # nonzero (truncation); compare against a deliberately divergent field.
+        bad = pred.copy()
+        bad[0, 0] = np.abs(bad[0, 0])
+        div_bad = loss.divergence(Tensor(bad)).numpy()
+        assert np.sqrt((div**2).mean()) < 0.2 * np.sqrt((div_bad**2).mean())
+
+    def test_penalty_increases_loss(self):
+        true = RNG.standard_normal((1, 2, 8, 8))
+        pred = true + 0.01
+        base = LpLoss()(Tensor(pred), Tensor(true)).item()
+        with_pen = DivergenceLoss(weight=1.0)(Tensor(pred), Tensor(true)).item()
+        assert with_pen >= base
+
+    def test_odd_channels_rejected(self):
+        loss = DivergenceLoss()
+        with pytest.raises(ValueError):
+            loss.divergence(Tensor(np.zeros((1, 3, 4, 4))))
+
+    def test_multi_snapshot_layout(self):
+        loss = DivergenceLoss()
+        pred = Tensor(RNG.standard_normal((2, 6, 8, 8)))  # 3 snapshots × 2 fields
+        assert loss.divergence(pred).shape == (2, 3, 8, 8)

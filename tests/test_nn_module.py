@@ -1,0 +1,118 @@
+"""Module/Parameter system: registration, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ChannelLinear, Module, ModuleList, Parameter, Sequential, GELU
+from repro.tensor import Tensor
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.ones((2, 3)))
+        self.inner = ChannelLinear(2, 3, rng=np.random.default_rng(0))
+
+    def forward(self, x):
+        return self.inner(x)
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        names = dict(Toy().named_parameters())
+        assert "w" in names
+        assert "inner.weight" in names
+        assert "inner.bias" in names
+
+    def test_num_parameters(self):
+        toy = Toy()
+        assert toy.num_parameters() == 6 + (2 * 3 + 3)
+
+    def test_parameters_iterates_all(self):
+        assert len(list(Toy().parameters())) == 3
+
+    def test_zero_grad(self):
+        toy = Toy()
+        for p in toy.parameters():
+            p.grad = np.zeros_like(p.data)
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        toy = Toy()
+        assert toy.training and toy.inner.training
+        toy.eval()
+        assert not toy.training and not toy.inner.training
+        toy.train()
+        assert toy.training and toy.inner.training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Toy(), Toy()
+        for p in a.parameters():
+            p.data = np.random.default_rng(3).standard_normal(p.data.shape)
+        b.load_state_dict(a.state_dict())
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_copy(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["w"][:] = 99.0
+        assert not np.any(toy.w.data == 99.0)
+
+    def test_strict_missing_key(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["w"]
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+        toy.load_state_dict(state, strict=False)  # tolerated
+
+    def test_strict_unexpected_key(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["w"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            toy.load_state_dict(state)
+
+
+class TestContainers:
+    def test_sequential_forward(self):
+        seq = Sequential(
+            ChannelLinear(2, 4, rng=np.random.default_rng(0)),
+            GELU(),
+            ChannelLinear(4, 1, rng=np.random.default_rng(1)),
+        )
+        out = seq(Tensor(np.ones((2, 2, 5, 5))))
+        assert out.shape == (2, 1, 5, 5)
+        assert len(seq) == 3
+        assert isinstance(seq[1], GELU)
+
+    def test_sequential_registers_params(self):
+        seq = Sequential(ChannelLinear(2, 4), ChannelLinear(4, 2))
+        assert len(list(seq.parameters())) == 4
+
+    def test_modulelist(self):
+        ml = ModuleList([ChannelLinear(2, 2) for _ in range(3)])
+        assert len(ml) == 3
+        assert len(list(ml.parameters())) == 6
+        ml.append(ChannelLinear(2, 2))
+        assert len(ml) == 4
+        assert isinstance(ml[0], ChannelLinear)
+        assert sum(1 for _ in ml) == 4

@@ -1,0 +1,124 @@
+"""Field transforms: roundtrips, solenoidality, Parseval-type identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import band_limited_vorticity
+from repro.ns import (
+    derivative_wavenumbers,
+    divergence,
+    enstrophy,
+    kinetic_energy,
+    palinstrophy,
+    rms_velocity,
+    streamfunction_from_vorticity,
+    velocity_from_vorticity,
+    vorticity_from_velocity,
+    wavenumbers,
+)
+
+RNG = np.random.default_rng(81)
+
+
+def _band_limited(n, seed=0):
+    return band_limited_vorticity(n, np.random.default_rng(seed), k_peak=n / 8)
+
+
+class TestWavenumbers:
+    def test_shapes(self):
+        kx, ky, k2 = wavenumbers(16)
+        assert kx.shape == ky.shape == k2.shape == (16, 9)
+
+    def test_zero_mode(self):
+        _, _, k2 = wavenumbers(8)
+        assert k2[0, 0] == 0.0
+
+    def test_length_scaling(self):
+        _, _, k2a = wavenumbers(8, length=2 * np.pi)
+        _, _, k2b = wavenumbers(8, length=np.pi)
+        assert np.allclose(k2b, 4.0 * k2a)
+
+    def test_derivative_nyquist_zeroed(self):
+        kx, ky = derivative_wavenumbers(8)
+        for k in (kx, ky):
+            assert np.all(k[4, :] == 0.0)
+            assert np.all(k[:, -1] == 0.0)
+
+    def test_derivative_odd_grid_untouched(self):
+        kx, ky = derivative_wavenumbers(7)
+        kx0, ky0, _ = wavenumbers(7)
+        assert np.array_equal(kx, kx0)
+        assert np.array_equal(ky, ky0)
+
+
+class TestRoundtrips:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_curl_of_biot_savart_identity(self, seed):
+        omega = _band_limited(32, seed)
+        back = vorticity_from_velocity(velocity_from_vorticity(omega))
+        assert np.allclose(back, omega, atol=1e-10)
+
+    def test_velocity_is_divergence_free(self):
+        u = velocity_from_vorticity(_band_limited(32))
+        assert np.abs(divergence(u)).max() < 1e-12
+
+    def test_streamfunction_poisson(self):
+        omega = _band_limited(32)
+        psi = streamfunction_from_vorticity(omega)
+        # ∇²ψ = −ω, check spectrally.
+        _, _, k2 = wavenumbers(32)
+        lap = np.fft.irfft2(-k2 * np.fft.rfft2(psi), s=(32, 32))
+        assert np.allclose(lap, -omega, atol=1e-10)
+
+    def test_streamfunction_zero_mean(self):
+        psi = streamfunction_from_vorticity(_band_limited(16))
+        assert abs(psi.mean()) < 1e-12
+
+    def test_velocity_from_streamfunction_consistency(self):
+        omega = _band_limited(32)
+        psi = streamfunction_from_vorticity(omega)
+        u = velocity_from_vorticity(omega)
+        kx, ky = derivative_wavenumbers(32)
+        ux = np.fft.irfft2(1j * ky * np.fft.rfft2(psi), s=(32, 32))
+        assert np.allclose(u[0], ux, atol=1e-10)
+
+
+class TestGlobalQuantities:
+    def test_kinetic_energy_uniform_flow(self):
+        u = np.zeros((2, 8, 8))
+        u[0] = 2.0
+        assert kinetic_energy(u) == pytest.approx(2.0)
+
+    def test_enstrophy_of_cosine(self):
+        n = 64
+        x = np.arange(n) * 2 * np.pi / n
+        omega = np.cos(x)[:, None] * np.ones((1, n))
+        assert enstrophy(omega) == pytest.approx(0.25, rel=1e-12)
+
+    def test_rms_velocity(self):
+        u = np.ones((2, 4, 4))
+        assert rms_velocity(u) == pytest.approx(np.sqrt(2.0))
+
+    def test_palinstrophy_positive(self):
+        assert palinstrophy(_band_limited(32)) > 0
+
+    def test_palinstrophy_scales_with_wavenumber(self):
+        """P/Z = <|∇ω|²>/<ω²> ≈ k² for a single-mode field."""
+        n = 64
+        x = np.arange(n) * 2 * np.pi / n
+        for k in (2, 4):
+            omega = np.cos(k * x)[:, None] * np.ones((1, n))
+            ratio = palinstrophy(omega) / enstrophy(omega)
+            assert ratio == pytest.approx(k * k, rel=1e-10)
+
+    def test_taylor_green_energy_enstrophy_ratio(self):
+        # For TG at wavenumber 1: Z/E = k² = 2 (two active modes kx=ky=1).
+        n = 64
+        x = np.arange(n) * 2 * np.pi / n
+        X, Y = np.meshgrid(x, x, indexing="ij")
+        omega = 2 * np.cos(X) * np.cos(Y)
+        u = velocity_from_vorticity(omega)
+        assert enstrophy(omega) / kinetic_energy(u) == pytest.approx(2.0, rel=1e-10)

@@ -1,0 +1,140 @@
+"""Optimisers and schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import SGD, Adam, AdamW, CosineAnnealingLR, LambdaLR, StepLR
+
+
+def quadratic_step(param, opt, n=200):
+    """Minimise ||x - 3||² and return the final distance."""
+    for _ in range(n):
+        param.grad = 2.0 * (param.data - 3.0)
+        opt.step()
+    return float(np.abs(param.data - 3.0).max())
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        assert quadratic_step(p, SGD([p], lr=0.1)) < 1e-6
+
+    def test_momentum_converges(self):
+        p = Parameter(np.zeros(4))
+        assert quadratic_step(p, SGD([p], lr=0.05, momentum=0.9)) < 1e-4
+
+    def test_skips_none_grad(self):
+        p = Parameter(np.ones(3))
+        opt = SGD([p], lr=0.1)
+        p.grad = None
+        opt.step()
+        assert np.all(p.data == 1.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        assert quadratic_step(p, Adam([p], lr=0.1), n=400) < 1e-4
+
+    def test_first_step_magnitude_is_lr(self):
+        # Adam's bias correction makes the first update ≈ lr in magnitude.
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([5.0])
+        opt.step()
+        assert abs(p.data[0]) == pytest.approx(0.01, rel=1e-4)
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = Parameter(np.full(3, 10.0))
+        opt = Adam([p], lr=0.05, weight_decay=0.1)
+        for _ in range(500):
+            p.grad = np.zeros(3)
+            opt.step()
+        assert np.abs(p.data).max() < 1.0
+
+    def test_state_dict_roundtrip(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.ones(2)
+        opt.step()
+        state = opt.state_dict()
+
+        p2 = Parameter(np.zeros(2))
+        opt2 = Adam([p2], lr=0.1)
+        opt2.load_state_dict(state)
+        assert opt2._t == opt._t
+        assert np.allclose(opt2._m[0], opt._m[0])
+
+    def test_zero_grad(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.ones(2)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestAdamW:
+    def test_decoupled_decay(self):
+        p = Parameter(np.full(2, 4.0))
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(2)
+        opt.step()
+        # decoupled: data *= (1 - lr*wd); Adam part sees zero grad.
+        assert p.data[0] == pytest.approx(4.0 * (1 - 0.05))
+        assert opt.weight_decay == 0.5  # restored after the step
+
+
+class TestSchedulers:
+    def _opt(self, lr=1.0):
+        return SGD([Parameter(np.zeros(1))], lr=lr)
+
+    def test_step_lr_halves_on_schedule(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=10, gamma=0.5)
+        lrs = []
+        for _ in range(30):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs[8] == 1.0       # epoch 9 (< 10)
+        assert lrs[9] == 0.5       # epoch 10
+        assert lrs[19] == 0.25     # epoch 20
+        assert lrs[29] == 0.125
+
+    def test_step_lr_validates(self):
+        with pytest.raises(ValueError):
+            StepLR(self._opt(), step_size=0)
+
+    def test_cosine_endpoints(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        assert sched.get_lr() == pytest.approx(1.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=20)
+        prev = opt.lr
+        for _ in range(20):
+            sched.step()
+            assert opt.lr <= prev + 1e-12
+            prev = opt.lr
+
+    def test_lambda_lr(self):
+        opt = self._opt(lr=2.0)
+        sched = LambdaLR(opt, lambda epoch: 1.0 / (1 + epoch))
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(2.0 / 3.0)
+
+    def test_current_lr_property(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=5)
+        assert sched.current_lr == opt.lr

@@ -1,0 +1,71 @@
+"""Benchmark-results digest tool."""
+
+import json
+
+import pytest
+
+from repro.reporting import load_results, main, summarize
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    (tmp_path / "fig4_lyapunov.json").write_text(json.dumps({
+        "exponents_per_tc": [1.4, 1.3],
+        "lyapunov_time_tc": 0.7,
+        "paper_reference": {"lambda_max": 2.15, "lambda_mean": 1.7, "T_L": 0.45},
+    }))
+    (tmp_path / "extension_3d.json").write_text(json.dumps({
+        "model_err": 0.09, "persistence_err": 0.18, "parameters": 123,
+    }))
+    (tmp_path / "unknown_experiment.json").write_text(json.dumps({"x": 1}))
+    return tmp_path
+
+
+class TestLoad:
+    def test_loads_all_json(self, results_dir):
+        results = load_results(results_dir)
+        assert set(results) == {"fig4_lyapunov", "extension_3d", "unknown_experiment"}
+
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_results(tmp_path / "nope")
+
+
+class TestSummarize:
+    def test_known_experiments_summarised(self, results_dir):
+        lines = summarize(load_results(results_dir))
+        assert any("fig4_lyapunov" in line and "0.7" in line for line in lines)
+        assert any("extension_3d" in line and "123" in line for line in lines)
+
+    def test_unknown_experiments_skipped(self, results_dir):
+        lines = summarize(load_results(results_dir))
+        assert not any("unknown_experiment" in line for line in lines)
+
+    def test_malformed_entry_reported_not_raised(self, tmp_path):
+        (tmp_path / "fig4_lyapunov.json").write_text(json.dumps({"wrong": "shape"}))
+        lines = summarize(load_results(tmp_path))
+        assert any("malformed" in line for line in lines)
+
+    def test_empty_results(self):
+        assert summarize({}) == []
+
+
+class TestMain:
+    def test_prints_digest(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark digest" in out
+        assert "fig4_lyapunov" in out
+
+    def test_missing_dir_exit_code(self, tmp_path):
+        assert main([str(tmp_path / "nope")]) == 2
+
+    def test_empty_dir_exit_code(self, tmp_path):
+        assert main([str(tmp_path)]) == 1
+
+    def test_real_results_if_present(self, capsys):
+        from pathlib import Path
+
+        if not Path("benchmarks/results").is_dir():
+            pytest.skip("no results yet")
+        assert main(["benchmarks/results"]) == 0

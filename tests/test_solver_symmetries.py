@@ -1,0 +1,112 @@
+"""Physical symmetries of the solvers (property-based).
+
+Discrete translation equivariance, parity, sign symmetry and rotation
+invariance — symmetries of the continuous equations that the periodic
+discretisations preserve exactly, so they make sharp invariant tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import band_limited_vorticity
+from repro.lbm import LBMSolver2D, UnitSystem
+from repro.ns import BurgersSolver1D, FDNSSolver2D, SpectralNSSolver2D, velocity_from_vorticity
+
+seeds = st.integers(min_value=0, max_value=10_000)
+shifts = st.integers(min_value=1, max_value=15)
+
+
+def _evolved(cls, omega0, t=0.2, nu=5e-3, dt=5e-3):
+    s = cls(omega0.shape[0], nu, dt=dt)
+    s.set_vorticity(omega0)
+    s.advance(t)
+    return s.vorticity
+
+
+class TestTranslationEquivariance:
+    @pytest.mark.parametrize("cls", [SpectralNSSolver2D, FDNSSolver2D])
+    @given(seed=seeds, sx=shifts, sy=shifts)
+    @settings(max_examples=8, deadline=None)
+    def test_ns_solvers(self, cls, seed, sx, sy):
+        """Evolving a shifted field equals shifting the evolved field."""
+        omega0 = band_limited_vorticity(32, np.random.default_rng(seed), k_peak=4.0)
+        direct = _evolved(cls, np.roll(omega0, (sx, sy), axis=(0, 1)))
+        shifted = np.roll(_evolved(cls, omega0), (sx, sy), axis=(0, 1))
+        assert np.allclose(direct, shifted, atol=1e-9)
+
+    @given(seed=seeds, shift=shifts)
+    @settings(max_examples=8, deadline=None)
+    def test_burgers(self, seed, shift):
+        from repro.ns import random_initial_condition_1d
+
+        u0 = random_initial_condition_1d(64, np.random.default_rng(seed))
+        a = BurgersSolver1D(64, 0.05, dt=5e-3)
+        a.set_state(np.roll(u0, shift))
+        a.advance(0.3)
+        b = BurgersSolver1D(64, 0.05, dt=5e-3)
+        b.set_state(u0)
+        b.advance(0.3)
+        assert np.allclose(a.u, np.roll(b.u, shift), atol=1e-10)
+
+    @given(seed=seeds, sx=shifts, sy=shifts)
+    @settings(max_examples=5, deadline=None)
+    def test_lbm(self, seed, sx, sy):
+        units = UnitSystem(n=16, reynolds=50, u0_lattice=0.03)
+        omega0 = band_limited_vorticity(16, np.random.default_rng(seed), k_peak=3.0)
+        u0 = units.to_lattice_velocity(velocity_from_vorticity(omega0))
+
+        a = LBMSolver2D.from_units(units, collision="bgk")
+        a.initialize(np.roll(u0, (sx % 16, sy % 16), axis=(1, 2)))
+        a.step(20)
+        b = LBMSolver2D.from_units(units, collision="bgk")
+        b.initialize(u0)
+        b.step(20)
+        assert np.allclose(a.velocity, np.roll(b.velocity, (sx % 16, sy % 16), axis=(1, 2)), atol=1e-12)
+
+
+class TestSignSymmetry:
+    @pytest.mark.parametrize("cls", [SpectralNSSolver2D, FDNSSolver2D])
+    @given(seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_vorticity_negation_with_parity(self, cls, seed):
+        """2-D NS: ω → −ω composed with a spatial reflection is a symmetry.
+
+        Reflecting x ↦ −x maps ω(x, y) to −ω(−x, y) solutions; on the
+        periodic grid the reflection is index reversal along axis 0.
+        """
+        omega0 = band_limited_vorticity(32, np.random.default_rng(seed), k_peak=4.0)
+        reflected0 = -np.flip(omega0, axis=0)
+        direct = _evolved(cls, reflected0)
+        transformed = -np.flip(_evolved(cls, omega0), axis=0)
+        assert np.allclose(direct, transformed, atol=1e-9)
+
+    @given(seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_burgers_antisymmetry(self, seed):
+        """u(x) → −u(−x) is a Burgers symmetry."""
+        from repro.ns import random_initial_condition_1d
+
+        u0 = random_initial_condition_1d(64, np.random.default_rng(seed))
+        mirror0 = -np.flip(u0)
+        a = BurgersSolver1D(64, 0.05, dt=5e-3)
+        a.set_state(mirror0)
+        a.advance(0.3)
+        b = BurgersSolver1D(64, 0.05, dt=5e-3)
+        b.set_state(u0)
+        b.advance(0.3)
+        assert np.allclose(a.u, -np.flip(b.u), atol=1e-10)
+
+
+class TestRotationInvariance:
+    @given(seed=seeds)
+    @settings(max_examples=6, deadline=None)
+    def test_quarter_rotation_spectral(self, seed):
+        """Rotating the vorticity field by 90° commutes with evolution
+        (the square periodic domain has the symmetry of the torus)."""
+        omega0 = band_limited_vorticity(32, np.random.default_rng(seed), k_peak=4.0)
+        rotated0 = np.rot90(omega0)
+        direct = _evolved(SpectralNSSolver2D, np.ascontiguousarray(rotated0))
+        transformed = np.rot90(_evolved(SpectralNSSolver2D, omega0))
+        assert np.allclose(direct, transformed, atol=1e-9)

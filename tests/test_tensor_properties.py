@@ -1,0 +1,117 @@
+"""Hypothesis property tests on the autograd engine.
+
+Invariants: linearity of the backward map, gradient of sums equals ones,
+broadcast/unbroadcast duality, and the vector-Jacobian identity
+``<g, J v> == <J^T g, v>`` probed with random directions.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, ops, unbroadcast
+
+shapes = st.sampled_from([(3,), (2, 3), (4, 1), (2, 3, 2), (1, 5)])
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _rand(shape, seed, offset=0):
+    return np.random.default_rng(seed + offset).standard_normal(shape)
+
+
+@given(shape=shapes, seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_sum_gradient_is_ones(shape, seed):
+    x = Tensor(_rand(shape, seed), requires_grad=True)
+    ops.sum_(x).backward()
+    assert np.array_equal(x.grad, np.ones(shape))
+
+
+@given(shape=shapes, seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_backward_linearity_in_seed(shape, seed):
+    """backward(a*g1 + b*g2) == a*backward(g1) + b*backward(g2)."""
+    data = _rand(shape, seed)
+    g1 = _rand(shape, seed, 1)
+    g2 = _rand(shape, seed, 2)
+
+    def grad_of(g):
+        x = Tensor(data.copy(), requires_grad=True)
+        y = ops.tanh(x * 2.0 + 1.0)
+        y.backward(g)
+        return x.grad
+
+    lhs = grad_of(2.0 * g1 - 3.0 * g2)
+    rhs = 2.0 * grad_of(g1) - 3.0 * grad_of(g2)
+    assert np.allclose(lhs, rhs)
+
+
+@given(shape=shapes, seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_vjp_jvp_duality(shape, seed):
+    """<g, J v> == <J^T g, v> with J the Jacobian of an elementwise map."""
+    data = _rand(shape, seed)
+    v = _rand(shape, seed, 1)
+    g = _rand(shape, seed, 2)
+
+    x = Tensor(data.copy(), requires_grad=True)
+    y = ops.sigmoid(x)
+    y.backward(g)
+    vjp = float((x.grad * v).sum())
+
+    # Forward directional derivative by finite differences.
+    eps = 1e-6
+    f = lambda a: 1.0 / (1.0 + np.exp(-a))
+    jvp = (f(data + eps * v) - f(data - eps * v)) / (2 * eps)
+    np.testing.assert_allclose(vjp, float((g * jvp).sum()), rtol=1e-4, atol=1e-6)
+
+
+@given(
+    extra=st.integers(min_value=0, max_value=2),
+    shape=shapes,
+    seed=seeds,
+)
+@settings(max_examples=25, deadline=None)
+def test_unbroadcast_inverts_broadcast_sum(extra, shape, seed):
+    """unbroadcast of a broadcast gradient equals direct gradient of sum."""
+    big_shape = (2,) * extra + shape
+    g = _rand(big_shape, seed)
+    out = unbroadcast(g, shape)
+    expected = g.sum(axis=tuple(range(extra))) if extra else g
+    assert np.allclose(out, expected)
+
+
+@given(shape=shapes, seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_roll_adjoint_preserves_inner_product(shape, seed):
+    x = _rand(shape, seed)
+    g = _rand(shape, seed, 3)
+    t = Tensor(x.copy(), requires_grad=True)
+    y = ops.roll(t, 1, axis=0)
+    y.backward(g)
+    assert np.isclose(float((y.data * g).sum()), float((np.roll(x, 1, 0) * g).sum()))
+    assert np.isclose(float((t.grad * x).sum()), float((g * np.roll(x, 1, 0)).sum()))
+
+
+@given(seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_gelu_between_relu_and_identity(seed):
+    x = _rand((50,), seed)
+    y = ops.gelu(Tensor(x)).data
+    assert np.all(y <= np.maximum(x, 0.0) + 1e-12)
+    assert np.all(y >= np.minimum(x, 0.0) - 0.17)  # gelu min ≈ -0.17
+
+
+@given(shape=shapes, seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_concat_then_split_identity(shape, seed):
+    a = _rand(shape, seed)
+    b = _rand(shape, seed, 1)
+    ta = Tensor(a.copy(), requires_grad=True)
+    tb = Tensor(b.copy(), requires_grad=True)
+    cat = ops.concatenate([ta, tb], axis=0)
+    assert cat.shape[0] == 2 * shape[0]
+    g = _rand(cat.shape, seed, 2)
+    cat.backward(g)
+    assert np.allclose(ta.grad, g[: shape[0]])
+    assert np.allclose(tb.grad, g[shape[0] :])

@@ -1,0 +1,79 @@
+"""Utilities: RNG fan-out, timing, process-parallel map."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, as_generator, default_workers, parallel_map, spawn_rngs, timed
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_preserves_order(self):
+        assert parallel_map(_square, [3, 1, 2], n_workers=1) == [9, 1, 4]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(12))
+        assert parallel_map(_square, items, n_workers=2) == [x * x for x in items]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], n_workers=4) == []
+
+    def test_single_item_runs_inline(self):
+        assert parallel_map(_square, [7], n_workers=8) == [49]
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_lambda_works_serially(self):
+        # Serial path has no pickling requirement.
+        assert parallel_map(lambda x: x + 1, [1, 2], n_workers=1) == [2, 3]
+
+
+class TestRNG:
+    def test_as_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_as_generator_from_seed(self):
+        a = as_generator(5).standard_normal(3)
+        b = as_generator(5).standard_normal(3)
+        assert np.array_equal(a, b)
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(0, 3)
+        assert len(rngs) == 3
+        draws = [g.standard_normal(4) for g in rngs]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_spawn_rngs_reproducible(self):
+        a = spawn_rngs(7, 2)[1].standard_normal(3)
+        b = spawn_rngs(7, 2)[1].standard_normal(3)
+        assert np.array_equal(a, b)
+
+
+class TestTiming:
+    def test_timer_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.02
+        assert t.n_intervals == 2
+        assert t.mean == pytest.approx(t.elapsed / 2)
+
+    def test_timer_mean_empty(self):
+        assert Timer().mean == 0.0
+
+    def test_timed_sink(self):
+        messages = []
+        with timed("label", sink=messages.append):
+            pass
+        assert len(messages) == 1
+        assert messages[0].startswith("label:")
