@@ -135,6 +135,24 @@ def cached_channel_model(
     return model, normalizer, meta
 
 
+def channel_model_path(
+    model_config: ChannelFNOConfig,
+    train_config: TrainingConfig,
+    data_config: DataGenConfig = DATA_CONFIG,
+    fields: str = "velocity",
+) -> Path:
+    """Checkpoint path of a cached channel model, training it on first use.
+
+    The serving benchmark needs the on-disk ``.npz`` (the model registry
+    loads checkpoints by path) rather than the in-memory model.
+    """
+    cached_channel_model(model_config, train_config, data_config, fields)
+    key = _hash_config(
+        {"m": asdict(model_config), "t": asdict(train_config), "d": asdict(data_config), "f": fields}
+    )
+    return CACHE_DIR / f"channel_model_{key}.npz"
+
+
 def cached_spacetime_model(
     model_config: SpaceTimeFNOConfig,
     train_config: TrainingConfig,

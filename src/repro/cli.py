@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Four subcommands cover the paper's workflow end to end::
+Six subcommands cover the paper's workflow end to end, plus deployment::
 
     python -m repro.cli generate --grid 32 --samples 8 --out data.npz
     python -m repro.cli train    --data data.npz --epochs 30 --out model.npz
     python -m repro.cli rollout  --data data.npz --model model.npz --mode hybrid
     python -m repro.cli analyze  --data data.npz
+    python -m repro.cli inspect  model.npz
+    python -m repro.cli serve    --model tiny=model.npz --port 8764
 
 Every option has a CPU-friendly default; the paper-scale settings are
 plain flag values away (``--grid 256 --reynolds 7500 --samples 5000``).
@@ -73,6 +75,31 @@ def build_parser() -> argparse.ArgumentParser:
     a = sub.add_parser("analyze", help="dataset statistics and Lyapunov estimate")
     a.add_argument("--data", required=True)
     a.add_argument("--lyapunov", action="store_true", help="also estimate the Lyapunov time")
+
+    i = sub.add_parser("inspect", help="print a checkpoint's config/version/normalizer")
+    i.add_argument("checkpoint", help="path to a model .npz saved by repro train")
+
+    s = sub.add_parser("serve", help="serve checkpoints over JSON-HTTP with micro-batching")
+    s.add_argument("--model", action="append", default=[], metavar="NAME=PATH",
+                   help="register a checkpoint under NAME (or give a bare PATH; repeatable)")
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=8764, help="0 picks a free port")
+    s.add_argument("--max-batch", type=int, default=8,
+                   help="most requests coalesced into one forward pass")
+    s.add_argument("--max-wait-ms", type=float, default=5.0,
+                   help="batching window: extra latency the first request of a batch tolerates")
+    s.add_argument("--queue-depth", type=int, default=64,
+                   help="bounded queue size; beyond it /predict answers 503 + Retry-After")
+    s.add_argument("--serve-workers", type=int, default=2, help="worker threads")
+    s.add_argument("--capacity", type=int, default=4, help="models kept loaded (LRU)")
+    s.add_argument("--default-mode", choices=["hybrid", "fno"], default="hybrid",
+                   help="rollout mode when a request does not specify one")
+    s.add_argument("--solver", choices=["fd", "spectral"], default="fd",
+                   help="PDE solver backing hybrid-mode requests")
+    s.add_argument("--non-deterministic", action="store_true",
+                   help="allow batch-size-dependent last-ulp differences for a faster "
+                        "mode-mixing einsum")
+    s.add_argument("--verbose", action="store_true", help="log every HTTP request")
     return parser
 
 
@@ -223,11 +250,63 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_inspect(args) -> int:
+    from repro.core import CheckpointError, inspect_checkpoint
+
+    try:
+        info = inspect_checkpoint(args.checkpoint)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"checkpoint : {info['path']}")
+    print(f"format     : version {info['version']}")
+    print(f"kind       : {info['kind']}")
+    print(f"parameters : {info['n_parameters']:,} in {info['n_arrays']} arrays "
+          f"({info['file_bytes'] / 1024:.1f} KiB on disk)")
+    config = {k: v for k, v in info["config"].items() if k != "kind"}
+    print("config     : " + ", ".join(f"{k}={v}" for k, v in sorted(config.items())))
+    if info["normalizer"] is None:
+        print("normalizer : none")
+    else:
+        print("normalizer : " + ", ".join(f"{k}={v}" for k, v in sorted(info["normalizer"].items())))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.core import CheckpointError
+    from repro.serve import BatchPolicy, InferenceService, ModelRegistry, serve_forever
+
+    registry = ModelRegistry(capacity=args.capacity)
+    for spec in args.model:
+        name, _, path = spec.rpartition("=")
+        try:
+            registry.register(name or path, path)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if not args.model:
+        print("warning: no --model registered; requests must pass checkpoint paths",
+              file=sys.stderr)
+    service = InferenceService(
+        registry,
+        policy=BatchPolicy(max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+                           max_queue=args.queue_depth),
+        n_workers=args.serve_workers,
+        deterministic=not args.non_deterministic,
+        default_mode=args.default_mode,
+        solver_kind=args.solver,
+    )
+    serve_forever(service, host=args.host, port=args.port, verbose=args.verbose)
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
     "rollout": _cmd_rollout,
     "analyze": _cmd_analyze,
+    "inspect": _cmd_inspect,
+    "serve": _cmd_serve,
 }
 
 

@@ -37,6 +37,7 @@ class ChannelFNOConfig:
     projection_channels: int = 128
     append_grid: bool = True
     divergence_free: bool = False
+    activation: str = "gelu"
 
     @property
     def in_channels(self) -> int:

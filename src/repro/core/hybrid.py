@@ -30,11 +30,17 @@ from ..analysis.statistics import (
 from ..nn import Module
 from ..ns.base import NSSolverBase
 from ..ns.fields import enstrophy, vorticity_from_velocity
-from ..tensor import Tensor, no_grad
 from .config import HybridConfig
-from .rollout import rollout_channels
+from .rollout import apply_channels, rollout_channels
 
-__all__ = ["RolloutRecord", "HybridFNOPDE", "run_pure_fno", "run_pure_pde"]
+__all__ = [
+    "RolloutRecord",
+    "HybridFNOPDE",
+    "run_pure_fno",
+    "run_pure_fno_batched",
+    "run_pure_pde",
+    "run_hybrid_batched",
+]
 
 
 @dataclass
@@ -131,14 +137,7 @@ class HybridFNOPDE:
     # ------------------------------------------------------------------
     def _fno_step(self, window: np.ndarray) -> np.ndarray:
         """Predict the next ``n_out`` snapshots from an ``n_in`` window."""
-        x = _window_to_channels(window)
-        if self.normalizer is not None:
-            x = self.normalizer.encode(x)
-        self.model.eval()
-        with no_grad():
-            pred = self.model(Tensor(x)).numpy()
-        if self.normalizer is not None:
-            pred = self.normalizer.decode(pred)
+        pred = apply_channels(self.model, _window_to_channels(window), self.normalizer)
         return _channels_to_snapshots(pred, self.config.n_fields)
 
     def _pde_step(self, u_start: np.ndarray, n_snapshots: int) -> np.ndarray:
@@ -157,31 +156,99 @@ class HybridFNOPDE:
 
         ``initial_window`` holds ``n_in`` velocity snapshots
         ``(n_in, 2, n, n)`` spaced ``sample_interval`` apart (physical
-        units).  The record includes the initial window.
+        units).  The record includes the initial window.  Delegates to
+        :func:`run_hybrid_batched` with a batch of one.
         """
-        cfg = self.config
-        if initial_window.shape[0] != cfg.n_in:
-            raise ValueError(f"expected {cfg.n_in} initial snapshots, got {initial_window.shape[0]}")
-        snapshots = [initial_window[i] for i in range(cfg.n_in)]
-        source = ["init"] * cfg.n_in
+        return run_hybrid_batched(
+            self.model,
+            [self.solver],
+            np.asarray(initial_window)[None],
+            self.config,
+            normalizer=self.normalizer,
+            convective_time=self.convective_time,
+            t0=t0,
+        )[0]
 
-        for _ in range(cfg.n_cycles):
-            window = np.stack(snapshots[-cfg.n_in :])
-            fno_out = self._fno_step(window)
-            snapshots.extend(fno_out)
-            source.extend(["fno"] * cfg.n_out)
 
-            pde_out = self._pde_step(snapshots[-1], cfg.n_in)
-            snapshots.extend(pde_out)
-            source.extend(["pde"] * cfg.n_in)
+def run_hybrid_batched(
+    model: Module,
+    solvers: list[NSSolverBase],
+    windows: np.ndarray,
+    config: HybridConfig,
+    normalizer=None,
+    convective_time: float | None = None,
+    t0: float = 0.0,
+) -> list[RolloutRecord]:
+    """Run ``B`` hybrid roll-outs with their FNO steps batched together.
 
-        times = t0 + np.arange(len(snapshots)) * cfg.sample_interval
-        return RolloutRecord(
-            times=times,
-            velocity=np.stack(snapshots),
-            source=source,
-            length=self.solver.length,
+    The FNO half of every cycle is a single batched forward pass over all
+    ``B`` requests (the serving micro-batcher's hot path); the PDE half
+    runs per-request because each trajectory owns solver state.
+
+    Parameters
+    ----------
+    model:
+        Trained temporal-channel FNO shared by all requests.
+    solvers:
+        One solver per request (same grid); their state is overwritten.
+    windows:
+        Initial windows ``(B, n_in, n_fields, n, n)`` in physical units.
+    config, normalizer, convective_time, t0:
+        As for :class:`HybridFNOPDE`.
+
+    Returns one :class:`RolloutRecord` per request, bit-for-bit equal to
+    running each request alone when batch-invariant kernels are active
+    (see :func:`repro.tensor.batch_invariant_kernels`).
+    """
+    cfg = config
+    windows = np.asarray(windows)
+    if windows.ndim != 5:
+        raise ValueError("windows must be (B, n_in, n_fields, n, n)")
+    B = windows.shape[0]
+    if len(solvers) != B:
+        raise ValueError(f"got {len(solvers)} solvers for batch of {B}")
+    if windows.shape[1] != cfg.n_in:
+        raise ValueError(f"expected {cfg.n_in} initial snapshots, got {windows.shape[1]}")
+    expected_in = cfg.n_in * cfg.n_fields
+    expected_out = cfg.n_out * cfg.n_fields
+    if model.in_channels != expected_in or model.out_channels != expected_out:
+        raise ValueError(
+            f"model channels ({model.in_channels}→{model.out_channels}) do not match "
+            f"config windows ({expected_in}→{expected_out})"
         )
+    t_c = convective_time if convective_time is not None else solvers[0].length
+    dt_phys = cfg.sample_interval * t_c
+    n1, n2 = windows.shape[-2:]
+
+    snaps: list[list[np.ndarray]] = [
+        [windows[b, i] for i in range(cfg.n_in)] for b in range(B)
+    ]
+    source = ["init"] * cfg.n_in
+    for _ in range(cfg.n_cycles):
+        stacked = np.stack([np.stack(s[-cfg.n_in :]) for s in snaps])
+        x = stacked.reshape(B, expected_in, n1, n2)
+        pred = apply_channels(model, x, normalizer)
+        for b in range(B):
+            snaps[b].extend(pred[b].reshape(cfg.n_out, cfg.n_fields, n1, n2))
+        source.extend(["fno"] * cfg.n_out)
+
+        for b, solver in enumerate(solvers):
+            solver.set_velocity(snaps[b][-1])
+            for _ in range(cfg.n_in):
+                solver.advance(dt_phys)
+                snaps[b].append(solver.velocity)
+        source.extend(["pde"] * cfg.n_in)
+
+    times = t0 + np.arange(len(snaps[0])) * cfg.sample_interval
+    return [
+        RolloutRecord(
+            times=times.copy(),
+            velocity=np.stack(snaps[b]),
+            source=list(source),
+            length=solvers[b].length,
+        )
+        for b in range(B)
+    ]
 
 
 def run_pure_fno(
@@ -195,13 +262,55 @@ def run_pure_fno(
     length: float = 2.0 * np.pi,
 ) -> RolloutRecord:
     """Iterative pure-FNO roll-out in the shared record format."""
-    window_ch = _window_to_channels(initial_window)
+    return run_pure_fno_batched(
+        model,
+        np.asarray(initial_window)[None],
+        n_snapshots,
+        n_fields=n_fields,
+        normalizer=normalizer,
+        sample_interval=sample_interval,
+        t0=t0,
+        length=length,
+    )[0]
+
+
+def run_pure_fno_batched(
+    model: Module,
+    windows: np.ndarray,
+    n_snapshots: int,
+    n_fields: int = 2,
+    normalizer=None,
+    sample_interval: float = 0.005,
+    t0: float = 0.0,
+    length: float = 2.0 * np.pi,
+) -> list[RolloutRecord]:
+    """Pure-FNO roll-outs for a whole batch of initial windows at once.
+
+    ``windows`` has shape ``(B, n_in, n_fields, n, n)``; the iterative
+    roll-out stacks all ``B`` requests along the model's batch axis so
+    each FNO application is a single forward pass.  Returns one
+    :class:`RolloutRecord` per request.
+    """
+    windows = np.asarray(windows)
+    if windows.ndim != 5:
+        raise ValueError("windows must be (B, n_in, n_fields, n, n)")
+    B, n_in, nf, n1, n2 = windows.shape
+    if nf != n_fields:
+        raise ValueError(f"windows have {nf} field components, expected {n_fields}")
+    window_ch = windows.reshape(B, n_in * n_fields, n1, n2)
     preds = rollout_channels(model, window_ch, n_snapshots, n_fields, normalizer)
-    pred_snaps = _channels_to_snapshots(preds, n_fields)
-    all_snaps = np.concatenate([initial_window, pred_snaps])
-    times = t0 + np.arange(all_snaps.shape[0]) * sample_interval
-    source = ["init"] * initial_window.shape[0] + ["fno"] * pred_snaps.shape[0]
-    return RolloutRecord(times=times, velocity=all_snaps, source=source, length=length)
+    pred_snaps = preds.reshape(B, preds.shape[1] // n_fields, n_fields, n1, n2)
+    times = t0 + np.arange(n_in + pred_snaps.shape[1]) * sample_interval
+    source = ["init"] * n_in + ["fno"] * pred_snaps.shape[1]
+    return [
+        RolloutRecord(
+            times=times.copy(),
+            velocity=np.concatenate([windows[b], pred_snaps[b]]),
+            source=list(source),
+            length=length,
+        )
+        for b in range(B)
+    ]
 
 
 def run_pure_pde(

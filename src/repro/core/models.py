@@ -30,6 +30,7 @@ def build_fno2d_channels(config: ChannelFNOConfig, rng=None, dtype=np.float64) -
         projection_channels=config.projection_channels,
         append_grid=config.append_grid,
         divergence_free=config.divergence_free,
+        activation=config.activation,
         rng=rng,
         dtype=dtype,
     )

@@ -14,7 +14,25 @@ import numpy as np
 from ..nn import Module
 from ..tensor import Tensor, no_grad
 
-__all__ = ["rollout_channels", "rollout_spacetime"]
+__all__ = ["apply_channels", "rollout_channels", "rollout_spacetime"]
+
+
+def apply_channels(model: Module, x: np.ndarray, normalizer=None) -> np.ndarray:
+    """One batched FNO application in physical units.
+
+    Encodes ``x`` of shape ``(B, C_in, n, n)`` with ``normalizer`` (when
+    given), runs the model under ``no_grad`` and decodes the prediction
+    back.  This is the single forward pass shared by the roll-out
+    drivers, the hybrid scheme and the serving micro-batcher.
+    """
+    if normalizer is not None:
+        x = normalizer.encode(x)
+    model.eval()
+    with no_grad():
+        pred = model(Tensor(x)).numpy()
+    if normalizer is not None:
+        pred = normalizer.decode(pred)
+    return pred
 
 
 def rollout_channels(
@@ -61,18 +79,11 @@ def rollout_channels(
     history = window.copy()
     produced: list[np.ndarray] = []
     total = 0
-    model.eval()
-    with no_grad():
-        while total < n_snapshots:
-            x = history[:, -n_in_ch:]
-            if normalizer is not None:
-                x = normalizer.encode(x)
-            pred = model(Tensor(x)).numpy()
-            if normalizer is not None:
-                pred = normalizer.decode(pred)
-            produced.append(pred)
-            history = np.concatenate([history, pred], axis=1)
-            total += n_out
+    while total < n_snapshots:
+        pred = apply_channels(model, history[:, -n_in_ch:], normalizer)
+        produced.append(pred)
+        history = np.concatenate([history, pred], axis=1)
+        total += n_out
     out = np.concatenate(produced, axis=1)
     return out[:, : n_snapshots * n_fields]
 
@@ -94,15 +105,8 @@ def rollout_spacetime(
     history = block.copy()
     outputs: list[np.ndarray] = []
     n_in = block.shape[-1]
-    model.eval()
-    with no_grad():
-        for _ in range(n_windows):
-            x = history[..., -n_in:]
-            if normalizer is not None:
-                x = normalizer.encode(x)
-            pred = model(Tensor(x)).numpy()
-            if normalizer is not None:
-                pred = normalizer.decode(pred)
-            outputs.append(pred)
-            history = np.concatenate([history, pred], axis=-1)
+    for _ in range(n_windows):
+        pred = apply_channels(model, history[..., -n_in:], normalizer)
+        outputs.append(pred)
+        history = np.concatenate([history, pred], axis=-1)
     return np.concatenate(outputs, axis=-1)

@@ -3,11 +3,17 @@
 The hybrid workflow treats a trained FNO as "a pre-trained ML model for
 decaying 2D turbulence" (paper Sec. VI-C); this module is the
 checkpoint format that makes the pre-trained model a reusable artifact.
+The serving registry (:mod:`repro.serve.registry`) builds its cache on
+top of :func:`load_model`, using :func:`checkpoint_fingerprint` to
+detect stale entries and :func:`inspect_checkpoint` to describe models
+without paying the weight-load cost.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -17,7 +23,13 @@ from ..nn import Module
 from .config import ChannelFNOConfig, SpaceTimeFNOConfig, Spatial3DChannelsConfig
 from .models import build_model
 
-__all__ = ["save_model", "load_model"]
+__all__ = [
+    "CheckpointError",
+    "save_model",
+    "load_model",
+    "inspect_checkpoint",
+    "checkpoint_fingerprint",
+]
 
 _FORMAT_VERSION = 1
 
@@ -26,6 +38,15 @@ _CONFIG_KINDS = {
     "spacetime_fno": SpaceTimeFNOConfig,
     "spatial3d_channels": Spatial3DChannelsConfig,
 }
+
+
+class CheckpointError(ValueError):
+    """A file is not a readable model checkpoint (wrong format/version/kind).
+
+    Subclasses :class:`ValueError` for compatibility with callers that
+    caught the pre-existing bare ``ValueError``s; the message always
+    names the offending path.
+    """
 
 
 def save_model(path, model: Module, config, normalizer: FieldNormalizer | None = None) -> None:
@@ -48,27 +69,73 @@ def save_model(path, model: Module, config, normalizer: FieldNormalizer | None =
     np.savez_compressed(path, **arrays)
 
 
+def checkpoint_fingerprint(path) -> tuple[int, int]:
+    """``(mtime_ns, size)`` of a checkpoint file — cheap staleness token.
+
+    The serving registry stores this at load time and reloads whenever
+    the fingerprint of the file on disk changes (e.g. a retrained model
+    written over the same path).
+    """
+    st = os.stat(path)
+    return (st.st_mtime_ns, st.st_size)
+
+
+def _read_header(data, path: Path) -> dict:
+    if "header" not in data.files:
+        raise CheckpointError(
+            f"{path}: not a repro checkpoint (npz without a 'header' entry; "
+            f"keys: {sorted(data.files)[:8]})"
+        )
+    try:
+        header = json.loads(bytes(data["header"]).decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{path}: corrupt checkpoint header ({exc})") from exc
+    if header.get("version") != _FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint version {header.get('version')!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    return header
+
+
+def _build_config(header: dict, path: Path):
+    cfg_dict = dict(header.get("config", {}))
+    kind = cfg_dict.pop("kind", None)
+    if kind not in _CONFIG_KINDS:
+        raise CheckpointError(
+            f"{path}: unknown model kind {kind!r} (known: {sorted(_CONFIG_KINDS)})"
+        )
+    try:
+        return _CONFIG_KINDS[kind](**cfg_dict)
+    except TypeError as exc:
+        raise CheckpointError(f"{path}: invalid {kind!r} config ({exc})") from exc
+
+
 def load_model(path, dtype=np.float64):
     """Load ``(model, config, normalizer)`` saved by :func:`save_model`.
 
-    ``normalizer`` is None when none was stored.
+    ``normalizer`` is None when none was stored.  Raises
+    :class:`CheckpointError` (naming the offending path) when the file is
+    missing, not a checkpoint, or from an unknown version/kind.
     """
     path = Path(path)
-    with np.load(path) as data:
-        header = json.loads(bytes(data["header"]).decode())
-        if header.get("version") != _FORMAT_VERSION:
-            raise ValueError(f"unsupported checkpoint version {header.get('version')!r}")
-        cfg_dict = dict(header["config"])
-        kind = cfg_dict.pop("kind")
-        try:
-            config = _CONFIG_KINDS[kind](**cfg_dict)
-        except KeyError:
-            raise ValueError(f"unknown model kind {kind!r}") from None
+    try:
+        data = np.load(path)
+    except FileNotFoundError:
+        raise CheckpointError(f"{path}: checkpoint file does not exist") from None
+    except (zipfile.BadZipFile, ValueError, OSError) as exc:
+        raise CheckpointError(f"{path}: not a readable npz checkpoint ({exc})") from exc
+    with data:
+        header = _read_header(data, path)
+        config = _build_config(header, path)
         model = build_model(config, rng=np.random.default_rng(0), dtype=dtype)
         state = {
             key[len("param::") :]: data[key] for key in data.files if key.startswith("param::")
         }
-        model.load_state_dict(state)
+        try:
+            model.load_state_dict(state)
+        except (KeyError, ValueError) as exc:
+            raise CheckpointError(f"{path}: checkpoint weights do not match config ({exc})") from exc
         normalizer = None
         if "normalizer" in header:
             normalizer = FieldNormalizer.from_state_dict(
@@ -80,3 +147,40 @@ def load_model(path, dtype=np.float64):
                 }
             )
     return model, config, normalizer
+
+
+def inspect_checkpoint(path) -> dict:
+    """Describe a checkpoint without building the model.
+
+    Returns ``{path, version, kind, config, normalizer, n_parameters,
+    n_arrays, file_bytes}``; ``normalizer`` is None or ``{n_fields,
+    isotropic}``.  Used by ``repro inspect`` and the serving ``/models``
+    endpoint.  Raises :class:`CheckpointError` on anything unreadable.
+    """
+    path = Path(path)
+    try:
+        data = np.load(path)
+    except FileNotFoundError:
+        raise CheckpointError(f"{path}: checkpoint file does not exist") from None
+    except (zipfile.BadZipFile, ValueError, OSError) as exc:
+        raise CheckpointError(f"{path}: not a readable npz checkpoint ({exc})") from exc
+    with data:
+        header = _read_header(data, path)
+        kind = header.get("config", {}).get("kind")
+        _build_config(header, path)  # validate, result unused
+        n_params = 0
+        n_arrays = 0
+        for key in data.files:
+            if key.startswith("param::"):
+                n_arrays += 1
+                n_params += int(np.prod(data[key].shape))
+    return {
+        "path": str(path),
+        "version": header["version"],
+        "kind": kind,
+        "config": header["config"],
+        "normalizer": header.get("normalizer"),
+        "n_parameters": n_params,
+        "n_arrays": n_arrays,
+        "file_bytes": path.stat().st_size,
+    }

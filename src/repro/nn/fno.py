@@ -27,6 +27,17 @@ from .spectral import SolenoidalProjection2d, SpectralConv1d, SpectralConv2d, Sp
 
 __all__ = ["FNO1d", "FNO2d", "FNO3d"]
 
+_ACTIVATIONS = {"gelu": ops.gelu, "relu": ops.relu, "tanh": ops.tanh}
+
+
+def _resolve_activation(name: str):
+    try:
+        return _ACTIVATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r} (choose from {sorted(_ACTIVATIONS)})"
+        ) from None
+
 
 class FNO1d(Module):
     """1-D Fourier neural operator (canonical Burgers benchmark).
@@ -127,6 +138,11 @@ class FNO2d(Module):
         divergence-free by construction (requires the channel axis to
         hold (u_x, u_y) pairs).  Implements the architectural fix for
         the paper's Fig.-8 observation.
+    activation:
+        Nonlinearity between Fourier blocks and inside the projection
+        head: ``"gelu"`` (reference default), ``"relu"``, or ``"tanh"``.
+        On CPU serving, ``relu`` avoids the per-element ``erf`` cost of
+        GELU, which dominates small-width forwards.
     """
 
     def __init__(
@@ -140,6 +156,7 @@ class FNO2d(Module):
         projection_channels: int = 128,
         append_grid: bool = True,
         divergence_free: bool = False,
+        activation: str = "gelu",
         rng: np.random.Generator | None = None,
         dtype=np.float64,
     ):
@@ -151,6 +168,8 @@ class FNO2d(Module):
         self.width = int(width)
         self.n_layers = int(n_layers)
         self.append_grid = bool(append_grid)
+        self.activation = str(activation)
+        self._act = _resolve_activation(self.activation)
         self.dtype = np.dtype(dtype)
         self._grid_cache: dict[tuple[int, int], np.ndarray] = {}
 
@@ -168,7 +187,10 @@ class FNO2d(Module):
         self.local_layers = ModuleList(
             ChannelLinear(width, width, rng=rng, dtype=dtype) for _ in range(self.n_layers)
         )
-        self.projection = ChannelMLP(width, projection_channels, out_channels, rng=rng, dtype=dtype)
+        self.projection = ChannelMLP(
+            width, projection_channels, out_channels,
+            activation=self.activation, rng=rng, dtype=dtype,
+        )
 
     # ------------------------------------------------------------------
     def _with_grid(self, x: Tensor) -> Tensor:
@@ -191,7 +213,7 @@ class FNO2d(Module):
         for i in range(self.n_layers):
             h = self.spectral_layers[i](h) + self.local_layers[i](h)
             if i < self.n_layers - 1:
-                h = ops.gelu(h)
+                h = self._act(h)
         out = self.projection(h)
         if self._output_projection is not None:
             out = self._output_projection(out)

@@ -50,11 +50,7 @@ class ChannelLinear(Module):
     def forward(self, x: Tensor) -> Tensor:
         if x.shape[1] != self.in_channels:
             raise ValueError(f"expected {self.in_channels} channels, got {x.shape[1]}")
-        out = ops.einsum("bi...,io->bo...", x, self.weight)
-        if self.bias is not None:
-            bias_shape = (1, self.out_channels) + (1,) * (x.ndim - 2)
-            out = out + ops.reshape(self.bias, bias_shape)
-        return out
+        return ops.channel_linear(x, self.weight, self.bias)
 
 
 class Linear(Module):
@@ -85,20 +81,29 @@ class Linear(Module):
 
 
 class ChannelMLP(Module):
-    """Two-layer pointwise MLP over channels with GELU, the FNO projection head."""
+    """Two-layer pointwise MLP over channels, the FNO projection head.
+
+    The hidden nonlinearity defaults to GELU (reference architecture) but
+    can be any of ``"gelu"``, ``"relu"``, ``"tanh"``.
+    """
 
     def __init__(
         self,
         in_channels: int,
         hidden_channels: int,
         out_channels: int,
+        activation: str = "gelu",
         rng: np.random.Generator | None = None,
         dtype=np.float64,
     ):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng()
+        from .fno import _resolve_activation  # local import: avoids a cycle
+
+        self.activation = str(activation)
+        self._act = _resolve_activation(self.activation)
         self.fc1 = ChannelLinear(in_channels, hidden_channels, rng=rng, dtype=dtype)
         self.fc2 = ChannelLinear(hidden_channels, out_channels, rng=rng, dtype=dtype)
 
     def forward(self, x: Tensor) -> Tensor:
-        return self.fc2(ops.gelu(self.fc1(x)))
+        return self.fc2(self._act(self.fc1(x)))

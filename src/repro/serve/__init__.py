@@ -1,0 +1,32 @@
+"""Batched FNO inference service (the deployment face of the repo).
+
+Turns checkpoints saved by :mod:`repro.core.zoo` into a long-running
+JSON-over-HTTP service:
+
+* :class:`ModelRegistry` — LRU cache over ``zoo.load_model`` with
+  checkpoint-mtime invalidation.
+* :class:`BatchQueue`/:class:`BatchPolicy` — micro-batching engine that
+  coalesces compatible rollout requests into one batched forward pass,
+  with bounded depth and :class:`QueueFullError` backpressure.
+* :class:`WorkerPool` — threads draining the queue.
+* :class:`InferenceService` — the synchronous client API tying the
+  pieces together (deterministic batch-invariant kernels by default).
+* :func:`make_server`/:func:`serve_forever` — the HTTP front end
+  (``/predict``, ``/models``, ``/healthz``, ``/stats``).
+
+Everything is stdlib + numpy; ``repro serve`` is the CLI entry point.
+"""
+
+from .batching import BatchPolicy, BatchQueue, PredictRequest, QueueFullError
+from .httpd import make_server, serve_forever
+from .registry import LoadedModel, ModelNotFound, ModelRegistry
+from .service import InferenceService
+from .stats import ServerStats
+from .workers import WorkerPool
+
+__all__ = [
+    "BatchPolicy", "BatchQueue", "PredictRequest", "QueueFullError",
+    "ModelRegistry", "LoadedModel", "ModelNotFound",
+    "InferenceService", "ServerStats", "WorkerPool",
+    "make_server", "serve_forever",
+]

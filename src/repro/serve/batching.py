@@ -1,0 +1,175 @@
+"""Micro-batching request queue with bounded depth and backpressure.
+
+Requests carrying the same *batch key* (model fingerprint, window shape,
+rollout parameters) are coalesced into one batched FNO forward pass.
+The queue is bounded: when full, :meth:`BatchQueue.submit` raises
+:class:`QueueFullError` immediately instead of blocking — the HTTP layer
+translates that into ``503`` + ``Retry-After`` so clients back off
+rather than pile up.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["BatchPolicy", "PredictRequest", "BatchQueue", "QueueFullError"]
+
+
+class QueueFullError(RuntimeError):
+    """The request queue is at capacity; retry after ``retry_after`` seconds."""
+
+    def __init__(self, depth: int, retry_after: float = 0.5):
+        super().__init__(f"request queue full ({depth} pending)")
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the coalescing policy.
+
+    ``max_batch`` — most requests fused into one forward pass;
+    ``max_wait_ms`` — how long a freshly dequeued request waits for
+    compatible companions before running under-full (the latency the
+    first request of a batch is willing to pay for throughput);
+    ``max_queue`` — bounded depth beyond which submissions are rejected.
+    """
+
+    max_batch: int = 8
+    max_wait_ms: float = 5.0
+    max_queue: int = 64
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+
+
+@dataclass
+class PredictRequest:
+    """One queued prediction with its completion rendezvous.
+
+    ``key`` decides batchability: requests are fused only when their
+    keys are equal.  The submitting thread waits on ``done``; the worker
+    fills exactly one of ``result``/``error`` before setting it.
+    """
+
+    key: tuple
+    payload: dict
+    done: threading.Event = field(default_factory=threading.Event)
+    result: dict | None = None
+    error: Exception | None = None
+    enqueued_at: float = field(default_factory=time.perf_counter)
+    batch_size: int = 0
+
+    def finish(self, result: dict | None = None, error: Exception | None = None) -> None:
+        self.result = result
+        self.error = error
+        self.done.set()
+
+    def wait(self, timeout: float | None = None) -> dict:
+        if not self.done.wait(timeout):
+            raise TimeoutError("prediction did not complete in time")
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+
+class BatchQueue:
+    """FIFO queue that hands workers coalesced same-key batches.
+
+    ``next_batch`` pops the oldest request, gathers every queued request
+    with the same key, and — if still under ``max_batch`` — waits up to
+    ``max_wait_ms`` for more compatible arrivals.  Requests with other
+    keys keep their queue positions (per-key order stays FIFO; distinct
+    keys may overtake each other by design).
+    """
+
+    def __init__(self, policy: BatchPolicy | None = None):
+        self.policy = policy or BatchPolicy()
+        self._items: deque[PredictRequest] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    def submit(self, request: PredictRequest) -> None:
+        with self._not_empty:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if len(self._items) >= self.policy.max_queue:
+                raise QueueFullError(len(self._items))
+            self._items.append(request)
+            self._not_empty.notify()
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def close(self) -> None:
+        """Stop accepting work and wake all waiting workers."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def _take_compatible(self, key: tuple, room: int) -> list[PredictRequest]:
+        """Remove up to ``room`` same-key requests from the queue (lock held)."""
+        taken: list[PredictRequest] = []
+        if room <= 0:
+            return taken
+        kept: deque[PredictRequest] = deque()
+        while self._items:
+            item = self._items.popleft()
+            if len(taken) < room and item.key == key:
+                taken.append(item)
+            else:
+                kept.append(item)
+        self._items = kept
+        return taken
+
+    def next_batch(self, poll_timeout: float = 0.1) -> list[PredictRequest] | None:
+        """Block for the next batch; ``None`` on timeout or closed-and-empty.
+
+        Workers call this in a loop; a ``None`` return lets them check
+        their stop flag without busy-waiting.
+        """
+        policy = self.policy
+        with self._not_empty:
+            if not self._items:
+                if self._closed:
+                    return None
+                self._not_empty.wait(poll_timeout)
+                if not self._items:
+                    return None
+            first = self._items.popleft()
+            batch = [first]
+            batch += self._take_compatible(first.key, policy.max_batch - len(batch))
+
+            deadline = time.perf_counter() + policy.max_wait_ms / 1000.0
+            while len(batch) < policy.max_batch and not self._closed:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._not_empty.wait(remaining)
+                batch += self._take_compatible(first.key, policy.max_batch - len(batch))
+        for request in batch:
+            request.batch_size = len(batch)
+        return batch
+
+    def drain(self) -> list[PredictRequest]:
+        """Remove and return everything still queued (used at shutdown)."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+        return items

@@ -1,0 +1,159 @@
+"""JSON-over-HTTP front end for :class:`~repro.serve.InferenceService`.
+
+Endpoints::
+
+    GET  /healthz          liveness probe
+    GET  /stats            counters, batch histogram, latency percentiles
+    GET  /models           registry listing (config/params per model)
+    POST /models/evict     {"name": ...} → drop a model from the cache
+    POST /predict          {"model", "window", "mode"?, "cycles"?, ...}
+
+``/predict`` bodies carry the initial window as nested JSON lists of
+shape ``(n_in, n_fields, n, n)``; responses return the rolled-out
+snapshots the same way.  A full queue answers ``503`` with a
+``Retry-After`` header instead of blocking the client.
+
+Built on ``http.server.ThreadingHTTPServer`` — one thread per
+connection, all funnelling into the shared micro-batch queue.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from .batching import QueueFullError
+from .registry import ModelNotFound
+from .service import InferenceService
+
+__all__ = ["make_server", "serve_forever"]
+
+_MAX_BODY = 256 * 1024 * 1024
+
+
+def _to_jsonable(obj):
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    return obj
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    """Request handler bound to a service via the server instance."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> InferenceService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- plumbing ------------------------------------------------------
+    def _send_json(self, code: int, payload: dict, headers: dict | None = None) -> None:
+        body = json.dumps(payload, default=_to_jsonable).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("missing request body")
+        if length > _MAX_BODY:
+            raise ValueError(f"request body too large ({length} bytes)")
+        return json.loads(self.rfile.read(length))
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/stats":
+            self._send_json(200, self.service.stats_snapshot())
+        elif self.path == "/models":
+            self._send_json(200, {"models": self.service.registry.list_models()})
+        else:
+            self._send_json(404, {"error": f"no route {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        try:
+            if self.path == "/predict":
+                self._predict()
+            elif self.path == "/models/evict":
+                body = self._read_body()
+                evicted = self.service.registry.evict(str(body.get("name", "")))
+                self._send_json(200, {"evicted": bool(evicted)})
+            else:
+                self._send_json(404, {"error": f"no route {self.path}"})
+        except (ValueError, KeyError, TypeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+
+    def _predict(self) -> None:
+        body = self._read_body()
+        if "model" not in body or "window" not in body:
+            self._send_json(400, {"error": "body must provide 'model' and 'window'"})
+            return
+        kwargs = {}
+        for key in ("mode", "cycles", "reynolds", "sample_interval"):
+            if key in body:
+                kwargs[key] = body[key]
+        try:
+            result = self.service.predict(str(body["model"]), body["window"], **kwargs)
+        except ModelNotFound as exc:
+            self._send_json(404, {"error": str(exc)})
+            return
+        except QueueFullError as exc:
+            self._send_json(
+                503,
+                {"error": str(exc), "retry_after_s": exc.retry_after},
+                headers={"Retry-After": f"{exc.retry_after:g}"},
+            )
+            return
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        self._send_json(200, result)
+
+
+def make_server(service: InferenceService, host: str = "127.0.0.1", port: int = 0,
+                verbose: bool = False) -> ThreadingHTTPServer:
+    """Build a ready-to-run HTTP server bound to ``service``.
+
+    ``port=0`` picks a free port; read it back from
+    ``server.server_address``.  The caller owns the server lifecycle
+    (``serve_forever``/``shutdown``) and the service lifecycle.
+    """
+    server = ThreadingHTTPServer((host, port), _ServeHandler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def serve_forever(service: InferenceService, host: str = "127.0.0.1", port: int = 8764,
+                  verbose: bool = False) -> None:
+    """Start the service + HTTP server and block until interrupted."""
+    server = make_server(service, host, port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    service.start()
+    print(f"repro-serve listening on http://{bound_host}:{bound_port} "
+          f"(models: {', '.join(service.registry.names()) or 'none registered'})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()

@@ -1,0 +1,169 @@
+"""Model registry: LRU-cached checkpoint loading with mtime invalidation.
+
+Serving N requests against M models should pay ``zoo.load_model`` once
+per model, not once per request.  The registry keeps up to ``capacity``
+loaded models in LRU order, keyed by resolved checkpoint path, and
+rechecks the file fingerprint (mtime + size) on every hit so a model
+retrained over the same path is picked up transparently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.zoo import (
+    CheckpointError,
+    checkpoint_fingerprint,
+    inspect_checkpoint,
+    load_model,
+)
+
+__all__ = ["LoadedModel", "ModelRegistry", "ModelNotFound"]
+
+
+class ModelNotFound(KeyError):
+    """No checkpoint is known under the requested name."""
+
+
+@dataclass
+class LoadedModel:
+    """A cached checkpoint: model + config + normalizer + provenance."""
+
+    name: str
+    path: Path
+    model: object
+    config: object
+    normalizer: object
+    fingerprint: tuple[int, int]
+    info: dict = field(default_factory=dict)
+
+
+class ModelRegistry:
+    """Thread-safe LRU cache of loaded checkpoints.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of models held in memory at once; the least
+        recently used entry is evicted beyond that.
+    dtype:
+        Weight dtype passed through to :func:`repro.core.load_model`.
+
+    Names are resolved through explicit aliases first
+    (:meth:`register`), then treated as filesystem paths.  ``get``
+    returns a :class:`LoadedModel`; hit/miss/invalidation counters feed
+    the serving ``/stats`` endpoint.
+    """
+
+    def __init__(self, capacity: int = 4, dtype=np.float64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.dtype = dtype
+        self._aliases: dict[str, Path] = {}
+        self._cache: OrderedDict[Path, LoadedModel] = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # -- name handling -------------------------------------------------
+    def register(self, name: str, path) -> None:
+        """Alias ``name`` to a checkpoint path (validated to exist)."""
+        path = Path(path)
+        if not path.is_file():
+            raise CheckpointError(f"{path}: checkpoint file does not exist")
+        with self._lock:
+            self._aliases[name] = path
+
+    def resolve(self, name: str) -> Path:
+        """Alias or path string → checkpoint path; raises :class:`ModelNotFound`."""
+        with self._lock:
+            if name in self._aliases:
+                return self._aliases[name]
+        path = Path(name)
+        if path.is_file():
+            return path
+        raise ModelNotFound(f"no model registered or on disk under {name!r}")
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._aliases)
+
+    # -- cache ---------------------------------------------------------
+    def get(self, name: str) -> LoadedModel:
+        """Fetch a loaded model, loading/reloading from disk as needed."""
+        path = self.resolve(name)
+        try:
+            fingerprint = checkpoint_fingerprint(path)
+        except OSError:
+            raise ModelNotFound(f"checkpoint disappeared: {path}") from None
+        with self._lock:
+            entry = self._cache.get(path)
+            if entry is not None and entry.fingerprint == fingerprint:
+                self._cache.move_to_end(path)
+                self.hits += 1
+                return entry
+            if entry is not None:
+                self.invalidations += 1
+                del self._cache[path]
+            self.misses += 1
+            model, config, normalizer = load_model(path, dtype=self.dtype)
+            entry = LoadedModel(
+                name=name,
+                path=path,
+                model=model,
+                config=config,
+                normalizer=normalizer,
+                fingerprint=fingerprint,
+                info=inspect_checkpoint(path),
+            )
+            self._cache[path] = entry
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+            return entry
+
+    def evict(self, name: str) -> bool:
+        """Drop a model from the cache (the alias survives)."""
+        try:
+            path = self.resolve(name)
+        except ModelNotFound:
+            return False
+        with self._lock:
+            return self._cache.pop(path, None) is not None
+
+    def cached_names(self) -> list[str]:
+        with self._lock:
+            return [entry.name for entry in self._cache.values()]
+
+    def list_models(self) -> list[dict]:
+        """Describe every known alias (and whether it is currently cached)."""
+        with self._lock:
+            aliases = dict(self._aliases)
+            cached = {entry.path: entry for entry in self._cache.values()}
+        out = []
+        for name, path in sorted(aliases.items()):
+            row = {"name": name, "path": str(path), "cached": path in cached}
+            try:
+                info = cached[path].info if path in cached else inspect_checkpoint(path)
+                row.update(kind=info["kind"], n_parameters=info["n_parameters"],
+                           config=info["config"], normalizer=info["normalizer"])
+            except CheckpointError as exc:
+                row["error"] = str(exc)
+            out.append(row)
+        return out
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "cached": len(self._cache),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+            }

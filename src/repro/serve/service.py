@@ -1,0 +1,255 @@
+"""The inference service: registry + micro-batcher + worker pool.
+
+``InferenceService.predict`` is the synchronous client API (the HTTP
+front end calls it from request-handler threads): it validates the
+request, enqueues it, and blocks until a worker completes the batch it
+landed in.  Deterministic mode (default) runs all forward passes under
+:func:`repro.tensor.batch_invariant_kernels`, so a response does not
+depend on which batch the scheduler happened to fuse the request into.
+
+``/predict`` defaults to the hybrid FNO–PDE scheme: the paper's pure-FNO
+roll-outs blow up beyond a few Lyapunov times (Fig. 9), so the stable
+windowed mode is the safe serving default and pure FNO is opt-in.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.config import HybridConfig
+from ..core.hybrid import run_hybrid_batched, run_pure_fno_batched
+from ..tensor import batch_invariant_kernels
+from .batching import BatchPolicy, BatchQueue, PredictRequest, QueueFullError
+from .registry import ModelRegistry
+from .stats import ServerStats
+from .workers import WorkerPool
+
+__all__ = ["InferenceService", "QueueFullError"]
+
+_SOLVERS = {"fd": "FDNSSolver2D", "spectral": "SpectralNSSolver2D"}
+
+
+def _make_solver(kind: str, n: int, reynolds: float):
+    from .. import ns
+
+    if kind not in _SOLVERS:
+        raise ValueError(f"unknown solver kind {kind!r} (choose from {sorted(_SOLVERS)})")
+    nu = 2.0 * np.pi / float(reynolds)
+    return getattr(ns, _SOLVERS[kind])(n, nu)
+
+
+class InferenceService:
+    """Long-running batched rollout service over a model registry.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`ModelRegistry` models are served from.
+    policy:
+        Micro-batching :class:`BatchPolicy` (batch size / added latency /
+        queue bound).
+    n_workers:
+        Worker threads draining the queue (0 = no workers, useful in
+        tests that only exercise queueing/backpressure).
+    deterministic:
+        Run forward passes with batch-invariant kernels so coalescing
+        never changes a response bit (costs ~2× on the mode-mixing
+        einsum, nothing on the FFTs).
+    default_mode:
+        ``"hybrid"`` (stable, needs a PDE solver per request) or
+        ``"fno"`` (pure roll-out; subject to the paper's blow-up result).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        policy: BatchPolicy | None = None,
+        n_workers: int = 2,
+        deterministic: bool = True,
+        default_mode: str = "hybrid",
+        solver_kind: str = "fd",
+        request_timeout: float = 60.0,
+    ):
+        if default_mode not in ("hybrid", "fno"):
+            raise ValueError("default_mode must be 'hybrid' or 'fno'")
+        if solver_kind not in _SOLVERS:
+            raise ValueError(f"unknown solver kind {solver_kind!r}")
+        self.registry = registry
+        self.policy = policy or BatchPolicy()
+        self.deterministic = bool(deterministic)
+        self.default_mode = default_mode
+        self.solver_kind = solver_kind
+        self.request_timeout = float(request_timeout)
+        self.stats = ServerStats()
+        self.queue = BatchQueue(self.policy)
+        self.workers = WorkerPool(self.queue, self._execute, n_workers=n_workers)
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "InferenceService":
+        if not self._started:
+            self.workers.start()
+            self._started = True
+        return self
+
+    def stop(self) -> None:
+        if self._started:
+            self.workers.stop()
+            self._started = False
+
+    def __enter__(self) -> "InferenceService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- client API ----------------------------------------------------
+    def predict(
+        self,
+        model: str,
+        window,
+        mode: str | None = None,
+        cycles: int = 1,
+        reynolds: float = 800.0,
+        sample_interval: float = 0.02,
+        timeout: float | None = None,
+    ) -> dict:
+        """Blocking rollout request; returns ``{times, velocity, source, ...}``.
+
+        ``window`` is ``(n_in, n_fields, n, n)`` in physical units.
+        ``cycles`` counts FNO applications (pure mode) or FNO+PDE cycles
+        (hybrid mode).  Raises :class:`QueueFullError` when the service
+        is saturated — callers should retry after ``.retry_after``.
+        """
+        mode = mode or self.default_mode
+        if mode not in ("hybrid", "fno"):
+            raise ValueError(f"unknown mode {mode!r} (choose 'hybrid' or 'fno')")
+        if cycles < 1:
+            raise ValueError("cycles must be >= 1")
+        entry = self.registry.get(model)
+        config = entry.config
+        window = np.asarray(window, dtype=self.registry.dtype)
+        expected = (config.n_in, config.n_fields)
+        if window.ndim != 4 or window.shape[:2] != expected:
+            raise ValueError(
+                f"window must be (n_in={expected[0]}, n_fields={expected[1]}, n, n); "
+                f"got {window.shape}"
+            )
+        if window.shape[2] != window.shape[3]:
+            raise ValueError("window grids must be square")
+
+        key = (
+            str(entry.path),
+            entry.fingerprint,
+            mode,
+            window.shape,
+            int(cycles),
+            round(float(reynolds), 9),
+            round(float(sample_interval), 12),
+            self.solver_kind,
+        )
+        request = PredictRequest(
+            key=key,
+            payload={
+                "entry": entry,
+                "window": window,
+                "mode": mode,
+                "cycles": int(cycles),
+                "reynolds": float(reynolds),
+                "sample_interval": float(sample_interval),
+            },
+        )
+        self.stats.record_submitted()
+        try:
+            self.queue.submit(request)
+        except QueueFullError:
+            self.stats.record_rejected()
+            raise
+        result = request.wait(timeout if timeout is not None else self.request_timeout)
+        return result
+
+    # -- worker side ---------------------------------------------------
+    def _execute(self, batch: list[PredictRequest]) -> None:
+        """Run one coalesced batch (all requests share a batch key)."""
+        started = time.perf_counter()
+        first = batch[0].payload
+        entry = first["entry"]
+        config = entry.config
+        mode = first["mode"]
+        cycles = first["cycles"]
+        dt = first["sample_interval"]
+        windows = np.stack([request.payload["window"] for request in batch])
+        n = windows.shape[-1]
+
+        try:
+            with batch_invariant_kernels(self.deterministic):
+                if mode == "fno":
+                    records = run_pure_fno_batched(
+                        entry.model,
+                        windows,
+                        n_snapshots=cycles * config.n_out,
+                        n_fields=config.n_fields,
+                        normalizer=entry.normalizer,
+                        sample_interval=dt,
+                    )
+                else:
+                    solvers = [
+                        _make_solver(self.solver_kind, n, request.payload["reynolds"])
+                        for request in batch
+                    ]
+                    hybrid_config = HybridConfig(
+                        n_in=config.n_in,
+                        n_out=config.n_out,
+                        n_fields=config.n_fields,
+                        sample_interval=dt,
+                        n_cycles=cycles,
+                    )
+                    records = run_hybrid_batched(
+                        entry.model,
+                        solvers,
+                        windows,
+                        hybrid_config,
+                        normalizer=entry.normalizer,
+                    )
+        except Exception as exc:
+            now = time.perf_counter()
+            for request in batch:
+                request.finish(error=exc)
+                self.stats.record_completed(now - request.enqueued_at, error=True)
+            self.stats.record_batch(len(batch), now - started)
+            return
+
+        now = time.perf_counter()
+        for request, record in zip(batch, records):
+            request.finish(
+                result={
+                    "model": entry.name,
+                    "mode": mode,
+                    "times": record.times,
+                    "velocity": record.velocity,
+                    "source": record.source,
+                    "batch_size": len(batch),
+                    "latency_s": now - request.enqueued_at,
+                }
+            )
+            self.stats.record_completed(now - request.enqueued_at)
+        self.stats.record_batch(len(batch), now - started)
+
+    # -- introspection -------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        return self.stats.snapshot(
+            queue_depth=self.queue.depth(),
+            extra={
+                "registry": self.registry.stats(),
+                "policy": {
+                    "max_batch": self.policy.max_batch,
+                    "max_wait_ms": self.policy.max_wait_ms,
+                    "max_queue": self.policy.max_queue,
+                },
+                "workers": self.workers.alive,
+                "deterministic": self.deterministic,
+                "default_mode": self.default_mode,
+            },
+        )

@@ -1,0 +1,72 @@
+"""Serving telemetry: request counters, batch-size histogram, latency.
+
+Everything is lock-protected and cheap enough to update on every
+request; ``snapshot`` renders the ``/stats`` endpoint payload.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+from ..utils.timing import LatencyStats
+
+__all__ = ["ServerStats"]
+
+
+class ServerStats:
+    """Aggregated counters for one :class:`~repro.serve.InferenceService`."""
+
+    def __init__(self, latency_window: int = 2048):
+        self._lock = threading.Lock()
+        self.n_submitted = 0
+        self.n_completed = 0
+        self.n_errors = 0
+        self.n_rejected = 0
+        self.batch_histogram: Counter[int] = Counter()
+        self.request_latency = LatencyStats(window=latency_window)
+        self.batch_latency = LatencyStats(window=latency_window)
+
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.n_submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.n_rejected += 1
+
+    def record_batch(self, size: int, seconds: float) -> None:
+        with self._lock:
+            self.batch_histogram[int(size)] += 1
+        self.batch_latency.observe(seconds)
+
+    def record_completed(self, seconds: float, error: bool = False) -> None:
+        with self._lock:
+            if error:
+                self.n_errors += 1
+            else:
+                self.n_completed += 1
+        self.request_latency.observe(seconds)
+
+    def max_batch_seen(self) -> int:
+        with self._lock:
+            return max(self.batch_histogram, default=0)
+
+    def snapshot(self, queue_depth: int | None = None, extra: dict | None = None) -> dict:
+        with self._lock:
+            payload = {
+                "requests": {
+                    "submitted": self.n_submitted,
+                    "completed": self.n_completed,
+                    "errors": self.n_errors,
+                    "rejected": self.n_rejected,
+                },
+                "batch_histogram": {str(k): v for k, v in sorted(self.batch_histogram.items())},
+            }
+        payload["latency_s"] = self.request_latency.summary()
+        payload["batch_exec_s"] = self.batch_latency.summary()
+        if queue_depth is not None:
+            payload["queue_depth"] = queue_depth
+        if extra:
+            payload.update(extra)
+        return payload

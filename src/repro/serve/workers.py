@@ -1,0 +1,75 @@
+"""Worker pool draining the micro-batch queue.
+
+Plain daemon threads: NumPy only releases the GIL for larger kernels, so
+workers buy overlap of I/O (checkpoint loads, HTTP writes) with compute
+and keep the queue drained while a batch waits out its coalescing
+window — they are not a bid for CPU parallelism.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .batching import BatchQueue, PredictRequest
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """``n_workers`` threads calling ``execute(batch)`` on dequeued batches.
+
+    ``execute`` must finish every request in the batch (set result or
+    error); as a safety net any exception escaping it is propagated to
+    the still-unfinished requests of that batch so no client hangs.
+    """
+
+    def __init__(self, queue: BatchQueue, execute, n_workers: int = 2, name: str = "serve-worker"):
+        if n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+        self.queue = queue
+        self.execute = execute
+        self.n_workers = int(n_workers)
+        self.name = name
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("worker pool already started")
+        for i in range(self.n_workers):
+            thread = threading.Thread(target=self._run, name=f"{self.name}-{i}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            batch = self.queue.next_batch(poll_timeout=0.05)
+            if batch is None:
+                if self.queue.closed:
+                    return
+                continue
+            self._execute_safely(batch)
+
+    def _execute_safely(self, batch: list[PredictRequest]) -> None:
+        try:
+            self.execute(batch)
+        except Exception as exc:  # noqa: BLE001 — must never kill a worker
+            for request in batch:
+                if not request.done.is_set():
+                    request.finish(error=exc)
+
+    def stop(self, join: bool = True, timeout: float = 5.0) -> None:
+        """Signal workers to exit and fail any still-queued requests."""
+        self._stop.set()
+        self.queue.close()
+        for request in self.queue.drain():
+            request.finish(error=RuntimeError("service shutting down"))
+        if join:
+            for thread in self._threads:
+                thread.join(timeout)
+        self._threads = []
+        self._stop = threading.Event()
+
+    @property
+    def alive(self) -> int:
+        return sum(thread.is_alive() for thread in self._threads)

@@ -11,6 +11,8 @@ Public surface:
 
 from . import fft_ops, ops
 from .fft_ops import (
+    batch_invariant_enabled,
+    batch_invariant_kernels,
     solenoidal_projection_2d,
     spectral_conv1d,
     spectral_conv2d,
@@ -59,6 +61,7 @@ from .tensor import Tensor, is_grad_enabled, no_grad, unbroadcast
 __all__ = [
     "Tensor", "no_grad", "is_grad_enabled", "unbroadcast",
     "ops", "fft_ops", "spectral_conv1d", "spectral_conv2d", "spectral_conv3d", "solenoidal_projection_2d",
+    "batch_invariant_kernels", "batch_invariant_enabled",
     "add", "sub", "mul", "div", "neg", "pow_", "matmul", "einsum", "dot",
     "exp", "log", "sqrt", "tanh", "sigmoid", "relu", "gelu", "abs_", "sin",
     "cos", "clip", "reshape", "transpose", "moveaxis", "getitem", "pad",

@@ -28,7 +28,14 @@ in ``tests/test_fft_ops.py``.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
+
 import numpy as np
+
+# scipy's pocketfft preserves single precision (numpy's promotes float32
+# input to complex128), which matters for float32 serving throughput.
+from scipy import fft as _fft
 
 from .tensor import Tensor
 
@@ -42,7 +49,47 @@ __all__ = [
     "solenoidal_projection_2d",
     "mode_blocks_2d",
     "mode_blocks_3d",
+    "batch_invariant_kernels",
+    "batch_invariant_enabled",
 ]
+
+
+class _BatchInvariantState(threading.local):
+    enabled = False
+
+
+_BATCH_INVARIANT = _BatchInvariantState()
+
+
+def batch_invariant_enabled() -> bool:
+    """Whether the current thread runs spectral kernels batch-invariantly."""
+    return _BATCH_INVARIANT.enabled
+
+
+@contextmanager
+def batch_invariant_kernels(enabled: bool = True):
+    """Force bitwise batch-size-invariant spectral convolutions (thread-local).
+
+    The mode-mixing einsum normally runs with ``optimize=True``, which
+    dispatches to BLAS whose partial-sum blocking depends on the batch
+    extent — sample ``i`` of a batch-``B`` forward can differ from the
+    same sample run at batch 1 in the last ulp.  Inside this context the
+    einsum uses NumPy's fixed-order C kernel instead, so a forward pass
+    is bit-for-bit identical for every batch size.  The serving path
+    (:mod:`repro.serve`) relies on this to make micro-batched responses
+    indistinguishable from unbatched ones; training keeps the fast path.
+    """
+    previous = _BATCH_INVARIANT.enabled
+    _BATCH_INVARIANT.enabled = bool(enabled)
+    try:
+        yield
+    finally:
+        _BATCH_INVARIANT.enabled = previous
+
+
+def _mode_einsum(subscripts: str, *operands) -> np.ndarray:
+    """Forward mode-mixing contraction honouring the batch-invariant flag."""
+    return np.einsum(subscripts, *operands, optimize=not _BATCH_INVARIANT.enabled)
 
 
 def half_spectrum_weights(n: int, dtype=np.float64) -> np.ndarray:
@@ -74,7 +121,7 @@ def irfftn_adjoint(g: np.ndarray, axes: tuple[int, ...], s: tuple[int, ...]) -> 
     """
     n_last = s[-1]
     n_total = float(np.prod(s))
-    G = np.fft.rfftn(g, s=s, axes=axes)
+    G = _fft.rfftn(g, s=s, axes=axes)
     w = _broadcast_last(half_spectrum_weights(n_last, dtype=g.dtype), G.ndim)
     return G * (w / n_total)
 
@@ -88,7 +135,7 @@ def rfftn_adjoint(G: np.ndarray, axes: tuple[int, ...], s: tuple[int, ...]) -> n
     n_last = s[-1]
     n_total = float(np.prod(s))
     w = _broadcast_last(half_spectrum_weights(n_last, dtype=G.real.dtype), G.ndim)
-    return n_total * np.fft.irfftn(G / w, s=s, axes=axes)
+    return n_total * _fft.irfftn(G / w, s=s, axes=axes)
 
 
 def mode_blocks_2d(n1: int, modes1: int, modes2: int) -> list[tuple[slice, slice]]:
@@ -153,7 +200,7 @@ def spectral_conv2d(x: Tensor, wr: Tensor, wi: Tensor, modes1: int, modes2: int)
         )
 
     axes, s = (-2, -1), (n1, n2)
-    X = np.fft.rfftn(x.data, axes=axes)
+    X = _fft.rfftn(x.data, axes=axes)
     W = _complex_weights(wr.data, wi.data)
     ctype = np.complex64 if x.data.dtype == np.float32 else np.complex128
     Y = np.zeros((B, Cout, n1, m_half), dtype=ctype)
@@ -161,8 +208,8 @@ def spectral_conv2d(x: Tensor, wr: Tensor, wi: Tensor, modes1: int, modes2: int)
     for b, blk in enumerate(blocks):
         Xb = X[:, :, blk[0], blk[1]]
         X_blocks.append(Xb)
-        Y[:, :, blk[0], blk[1]] = np.einsum("bixy,ioxy->boxy", Xb, W[b], optimize=True)
-    y = np.fft.irfftn(Y, s=s, axes=axes)
+        Y[:, :, blk[0], blk[1]] = _mode_einsum("bixy,ioxy->boxy", Xb, W[b])
+    y = _fft.irfftn(Y, s=s, axes=axes)
 
     def backward(g: np.ndarray) -> None:
         GY = irfftn_adjoint(g, axes=axes, s=s)
@@ -201,13 +248,13 @@ def spectral_conv1d(x: Tensor, wr: Tensor, wi: Tensor, modes: int) -> Tensor:
     Cout = wr.data.shape[1]
 
     axes, s = (-1,), (n,)
-    X = np.fft.rfftn(x.data, axes=axes)
+    X = _fft.rfftn(x.data, axes=axes)
     W = _complex_weights(wr.data, wi.data)
     ctype = np.complex64 if x.data.dtype == np.float32 else np.complex128
     Y = np.zeros((B, Cout, m_half), dtype=ctype)
     Xm = X[:, :, :modes]
-    Y[:, :, :modes] = np.einsum("bix,iox->box", Xm, W, optimize=True)
-    y = np.fft.irfftn(Y, s=s, axes=axes)
+    Y[:, :, :modes] = _mode_einsum("bix,iox->box", Xm, W)
+    y = _fft.irfftn(Y, s=s, axes=axes)
 
     def backward(g: np.ndarray) -> None:
         GY = irfftn_adjoint(g, axes=axes, s=s)[:, :, :modes]
@@ -268,7 +315,7 @@ def solenoidal_projection_2d(x: Tensor, length: float = 2.0 * np.pi) -> Tensor:
     axes, s = (-2, -1), (n1, n2)
 
     def _apply(arr: np.ndarray) -> np.ndarray:
-        spec = np.fft.rfftn(arr.reshape(B, C // 2, 2, n1, n2), axes=axes)
+        spec = _fft.rfftn(arr.reshape(B, C // 2, 2, n1, n2), axes=axes)
         k_dot_u = kx * spec[:, :, 0] + ky * spec[:, :, 1]
         spec[:, :, 0] -= kx * k_dot_u * inv_k2
         spec[:, :, 1] -= ky * k_dot_u * inv_k2
@@ -277,7 +324,7 @@ def solenoidal_projection_2d(x: Tensor, length: float = 2.0 * np.pi) -> Tensor:
             spec[:, :, :, n1 // 2, :] = 0.0
         if n2 % 2 == 0:
             spec[:, :, :, :, -1] = 0.0
-        out = np.fft.irfftn(spec, s=s, axes=axes)
+        out = _fft.irfftn(spec, s=s, axes=axes)
         return out.reshape(B, C, n1, n2).astype(arr.dtype, copy=False)
 
     y = _apply(x.data)
@@ -312,7 +359,7 @@ def spectral_conv3d(
     Cout = wr.data.shape[2]
 
     axes, s = (-3, -2, -1), (n1, n2, n3)
-    X = np.fft.rfftn(x.data, axes=axes)
+    X = _fft.rfftn(x.data, axes=axes)
     W = _complex_weights(wr.data, wi.data)
     ctype = np.complex64 if x.data.dtype == np.float32 else np.complex128
     Y = np.zeros((B, Cout, n1, n2, m_half), dtype=ctype)
@@ -320,8 +367,8 @@ def spectral_conv3d(
     for b, blk in enumerate(blocks):
         Xb = X[:, :, blk[0], blk[1], blk[2]]
         X_blocks.append(Xb)
-        Y[:, :, blk[0], blk[1], blk[2]] = np.einsum("bixyz,ioxyz->boxyz", Xb, W[b], optimize=True)
-    y = np.fft.irfftn(Y, s=s, axes=axes)
+        Y[:, :, blk[0], blk[1], blk[2]] = _mode_einsum("bixyz,ioxyz->boxyz", Xb, W[b])
+    y = _fft.irfftn(Y, s=s, axes=axes)
 
     def backward(g: np.ndarray) -> None:
         GY = irfftn_adjoint(g, axes=axes, s=s)

@@ -2,6 +2,9 @@
 
 from .parallel import default_workers, parallel_map
 from .rng import as_generator, spawn_rngs
-from .timing import Timer, timed
+from .timing import LatencyStats, Timer, timed
 
-__all__ = ["parallel_map", "default_workers", "spawn_rngs", "as_generator", "Timer", "timed"]
+__all__ = [
+    "parallel_map", "default_workers", "spawn_rngs", "as_generator",
+    "Timer", "timed", "LatencyStats",
+]

@@ -1,15 +1,23 @@
-"""Wall-clock timing helpers used by the training loop and benchmarks."""
+"""Wall-clock timing helpers used by the training loop, benchmarks and
+the serving stats endpoint."""
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 
-__all__ = ["Timer", "timed"]
+__all__ = ["Timer", "timed", "LatencyStats"]
 
 
 class Timer:
-    """Accumulating stopwatch.
+    """Accumulating stopwatch, safe for concurrent and nested use.
+
+    Each thread keeps its own stack of start times, so overlapping
+    ``with t:`` blocks from different threads (or nested blocks in one
+    thread) each contribute their own interval; the accumulated totals
+    are lock-protected.
 
     >>> t = Timer()
     >>> with t:
@@ -21,17 +29,23 @@ class Timer:
     def __init__(self) -> None:
         self.elapsed = 0.0
         self.n_intervals = 0
-        self._start: float | None = None
+        self._lock = threading.Lock()
+        self._local = threading.local()
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(time.perf_counter())
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._start is not None
-        self.elapsed += time.perf_counter() - self._start
-        self.n_intervals += 1
-        self._start = None
+        stack = getattr(self._local, "stack", None)
+        assert stack, "Timer.__exit__ without a matching __enter__ in this thread"
+        interval = time.perf_counter() - stack.pop()
+        with self._lock:
+            self.elapsed += interval
+            self.n_intervals += 1
 
     @property
     def mean(self) -> float:
@@ -49,3 +63,59 @@ def timed(label: str, sink=None):
         print(message)
     else:
         sink(message)
+
+
+class LatencyStats:
+    """Thread-safe latency tracker with sliding-window percentiles.
+
+    Keeps lifetime ``count``/``total``/``max`` plus a bounded window of
+    the most recent observations from which percentiles are computed —
+    the serving ``/stats`` endpoint reports p50/p95 from here.
+    """
+
+    def __init__(self, window: int = 2048) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._lock = threading.Lock()
+        self._samples: deque[float] = deque(maxlen=int(window))
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        with self._lock:
+            self._samples.append(seconds)
+            self.count += 1
+            self.total += seconds
+            if seconds > self.max:
+                self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile (``q`` in [0, 100]) over the window."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        pos = (len(samples) - 1) * q / 100.0
+        lo = int(pos)
+        hi = min(lo + 1, len(samples) - 1)
+        frac = pos - lo
+        return samples[lo] * (1.0 - frac) + samples[hi] * frac
+
+    def summary(self) -> dict:
+        """``{count, mean, p50, p95, max}`` snapshot (seconds)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "max": self.max,
+        }

@@ -95,3 +95,38 @@ class TestPipeline:
 
         _, meta = load_samples(path)
         assert meta["forcing"] == "kolmogorov"
+
+
+class TestInspectAndServeCLI:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8764
+        assert args.max_batch == 8
+        assert args.default_mode == "hybrid"
+        assert args.non_deterministic is False
+
+    def test_serve_model_spec_parsing(self):
+        args = build_parser().parse_args(["serve", "--model", "a=x.npz", "--model", "y.npz"])
+        assert args.model == ["a=x.npz", "y.npz"]
+
+    def test_inspect_prints_config(self, tmp_path, capsys):
+        from repro.core import ChannelFNOConfig, build_fno2d_channels, save_model
+
+        cfg = ChannelFNOConfig(n_in=2, n_out=1, n_fields=2, modes1=3, modes2=3,
+                               width=6, n_layers=2)
+        path = tmp_path / "model.npz"
+        save_model(path, build_fno2d_channels(cfg, rng=np.random.default_rng(0)), cfg)
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "channel_fno" in out
+        assert "width=6" in out
+        assert "version 1" in out
+
+    def test_inspect_bad_path_fails_cleanly(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "nope.npz")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_checkpoint(self, tmp_path, capsys):
+        rc = main(["serve", "--model", f"m={tmp_path / 'missing.npz'}"])
+        assert rc == 2
+        assert "does not exist" in capsys.readouterr().err

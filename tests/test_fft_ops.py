@@ -247,3 +247,50 @@ class TestSpectralConv3d:
         wi = Tensor(RNG.standard_normal((4, 1, 1, 4, 2, 2)))
         with pytest.raises(ValueError):
             spectral_conv3d(x, wr, wi, 4, 2, 2)
+
+
+class TestBatchInvariantKernels:
+    """The serving path's determinism contract: batch size never changes bits."""
+
+    def test_spectral_conv2d_batch_invariant(self):
+        from repro.tensor.fft_ops import batch_invariant_enabled, batch_invariant_kernels
+
+        wr = Tensor(RNG.standard_normal((2, 3, 3, 2, 2)))
+        wi = Tensor(RNG.standard_normal((2, 3, 3, 2, 2)))
+        x = RNG.standard_normal((6, 3, 8, 8))
+        assert not batch_invariant_enabled()
+        with batch_invariant_kernels():
+            assert batch_invariant_enabled()
+            full = spectral_conv2d(Tensor(x), wr, wi, 2, 2).data
+            singles = np.concatenate(
+                [spectral_conv2d(Tensor(x[i : i + 1]), wr, wi, 2, 2).data for i in range(6)]
+            )
+        assert not batch_invariant_enabled()
+        assert np.array_equal(full, singles)
+
+    def test_flag_is_thread_local(self):
+        import threading
+
+        from repro.tensor.fft_ops import batch_invariant_enabled, batch_invariant_kernels
+
+        seen = {}
+
+        def other_thread():
+            seen["enabled"] = batch_invariant_enabled()
+
+        with batch_invariant_kernels():
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        assert seen["enabled"] is False
+
+    def test_values_stay_close_to_fast_path(self):
+        from repro.tensor.fft_ops import batch_invariant_kernels
+
+        wr = Tensor(RNG.standard_normal((2, 3, 3, 2, 2)))
+        wi = Tensor(RNG.standard_normal((2, 3, 3, 2, 2)))
+        x = Tensor(RNG.standard_normal((4, 3, 8, 8)))
+        fast = spectral_conv2d(x, wr, wi, 2, 2).data
+        with batch_invariant_kernels():
+            slow = spectral_conv2d(x, wr, wi, 2, 2).data
+        assert np.allclose(fast, slow, atol=1e-12)

@@ -87,6 +87,21 @@ class TestFNO2d:
         out = model(Tensor(RNG.standard_normal((1, 1, 8, 8)).astype(np.float32)))
         assert out.dtype == np.float32
 
+    def test_activation_changes_output(self):
+        x = RNG.standard_normal((1, 2, 8, 8))
+        outs = []
+        for act in ("gelu", "relu", "tanh"):
+            model = FNO2d(2, 2, 3, 3, width=6, n_layers=2, activation=act,
+                          rng=np.random.default_rng(7))
+            assert model.activation == act
+            outs.append(model(Tensor(x)).numpy())
+        assert not np.allclose(outs[0], outs[1])
+        assert not np.allclose(outs[0], outs[2])
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            FNO2d(2, 2, 3, 3, width=6, n_layers=2, activation="swish", rng=RNG)
+
 
 class TestFNO3d:
     def test_output_shape(self):

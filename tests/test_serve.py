@@ -1,0 +1,393 @@
+"""repro.serve: registry caching, micro-batching, determinism, backpressure, HTTP."""
+
+import json
+import os
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChannelFNOConfig,
+    Trainer,
+    TrainingConfig,
+    build_fno2d_channels,
+    save_model,
+)
+from repro.data import FieldNormalizer
+from repro.serve import (
+    BatchPolicy,
+    BatchQueue,
+    InferenceService,
+    ModelNotFound,
+    ModelRegistry,
+    PredictRequest,
+    QueueFullError,
+    make_server,
+)
+
+GRID = 16
+CFG = ChannelFNOConfig(
+    n_in=2, n_out=1, n_fields=2, modes1=4, modes2=4, width=8, n_layers=2,
+    projection_channels=16,
+)
+RNG = np.random.default_rng(7)
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    """A tiny *trained* checkpoint (one epoch on synthetic pairs)."""
+    rng = np.random.default_rng(0)
+    model = build_fno2d_channels(CFG, rng=rng)
+    X = rng.standard_normal((6, CFG.in_channels, GRID, GRID))
+    Y = rng.standard_normal((6, CFG.out_channels, GRID, GRID))
+    normalizer = FieldNormalizer(n_fields=2).fit(X)
+    Trainer(model, TrainingConfig(epochs=1, batch_size=3, learning_rate=1e-3)).fit(
+        normalizer.encode(X), normalizer.encode(Y)
+    )
+    path = tmp_path_factory.mktemp("serve") / "tiny.npz"
+    save_model(path, model, CFG, normalizer)
+    return path
+
+
+def window(seed=1, scale=0.1):
+    return np.random.default_rng(seed).standard_normal((CFG.n_in, 2, GRID, GRID)) * scale
+
+
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_loads_once_per_model(self, checkpoint):
+        reg = ModelRegistry(capacity=2)
+        reg.register("tiny", checkpoint)
+        a = reg.get("tiny")
+        b = reg.get("tiny")
+        assert a is b
+        assert reg.misses == 1 and reg.hits == 1
+
+    def test_mtime_invalidation(self, checkpoint):
+        reg = ModelRegistry(capacity=2)
+        reg.register("tiny", checkpoint)
+        first = reg.get("tiny")
+        st = os.stat(checkpoint)
+        os.utime(checkpoint, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+        second = reg.get("tiny")
+        assert second is not first
+        assert reg.invalidations == 1
+
+    def test_lru_eviction(self, checkpoint, tmp_path):
+        other = tmp_path / "other.npz"
+        model = build_fno2d_channels(CFG, rng=np.random.default_rng(3))
+        save_model(other, model, CFG)
+        reg = ModelRegistry(capacity=1)
+        reg.register("a", checkpoint)
+        reg.register("b", other)
+        reg.get("a")
+        reg.get("b")  # evicts a
+        assert reg.cached_names() == ["b"]
+        reg.get("a")
+        assert reg.misses == 3  # a was reloaded
+
+    def test_explicit_evict(self, checkpoint):
+        reg = ModelRegistry()
+        reg.register("tiny", checkpoint)
+        reg.get("tiny")
+        assert reg.evict("tiny") is True
+        assert reg.evict("tiny") is False  # already gone
+        assert reg.cached_names() == []
+
+    def test_unknown_name(self):
+        with pytest.raises(ModelNotFound):
+            ModelRegistry().get("no-such-model")
+
+    def test_register_requires_existing_file(self, tmp_path):
+        from repro.core import CheckpointError
+
+        with pytest.raises(CheckpointError, match="does not exist"):
+            ModelRegistry().register("x", tmp_path / "missing.npz")
+
+    def test_path_without_alias(self, checkpoint):
+        reg = ModelRegistry()
+        entry = reg.get(str(checkpoint))
+        assert entry.config == CFG
+
+    def test_list_models_reports_config(self, checkpoint):
+        reg = ModelRegistry()
+        reg.register("tiny", checkpoint)
+        (row,) = reg.list_models()
+        assert row["name"] == "tiny"
+        assert row["kind"] == "channel_fno"
+        assert row["n_parameters"] > 0
+        assert row["cached"] is False
+
+
+class TestBatchQueue:
+    def _req(self, key=("k",)):
+        return PredictRequest(key=key, payload={})
+
+    def test_coalesces_same_key(self):
+        q = BatchQueue(BatchPolicy(max_batch=4, max_wait_ms=0, max_queue=16))
+        for _ in range(3):
+            q.submit(self._req())
+        batch = q.next_batch()
+        assert len(batch) == 3
+        assert all(r.batch_size == 3 for r in batch)
+
+    def test_respects_max_batch(self):
+        q = BatchQueue(BatchPolicy(max_batch=2, max_wait_ms=0, max_queue=16))
+        for _ in range(5):
+            q.submit(self._req())
+        assert len(q.next_batch()) == 2
+        assert len(q.next_batch()) == 2
+        assert len(q.next_batch()) == 1
+
+    def test_does_not_mix_keys(self):
+        q = BatchQueue(BatchPolicy(max_batch=8, max_wait_ms=0, max_queue=16))
+        q.submit(self._req(key=("a",)))
+        q.submit(self._req(key=("b",)))
+        q.submit(self._req(key=("a",)))
+        batch = q.next_batch()
+        assert len(batch) == 2 and all(r.key == ("a",) for r in batch)
+        assert [r.key for r in q.next_batch()] == [("b",)]
+
+    def test_backpressure(self):
+        q = BatchQueue(BatchPolicy(max_batch=2, max_wait_ms=0, max_queue=2))
+        q.submit(self._req())
+        q.submit(self._req())
+        with pytest.raises(QueueFullError) as excinfo:
+            q.submit(self._req())
+        assert excinfo.value.retry_after > 0
+
+    def test_waits_for_companions(self):
+        q = BatchQueue(BatchPolicy(max_batch=2, max_wait_ms=500, max_queue=16))
+        q.submit(self._req())
+
+        def late_submit():
+            q.submit(self._req())
+
+        timer = threading.Timer(0.05, late_submit)
+        timer.start()
+        try:
+            batch = q.next_batch()
+        finally:
+            timer.cancel()
+        assert len(batch) == 2
+
+    def test_close_unblocks(self):
+        q = BatchQueue(BatchPolicy())
+        q.close()
+        assert q.next_batch() is None
+        with pytest.raises(RuntimeError):
+            q.submit(self._req())
+
+
+# ---------------------------------------------------------------------------
+
+
+class TestService:
+    def test_fno_rollout_shape(self, checkpoint):
+        reg = ModelRegistry()
+        reg.register("tiny", checkpoint)
+        with InferenceService(reg, n_workers=1) as svc:
+            out = svc.predict("tiny", window(), mode="fno", cycles=3)
+        assert out["velocity"].shape == (CFG.n_in + 3 * CFG.n_out, 2, GRID, GRID)
+        assert out["source"] == ["init"] * CFG.n_in + ["fno"] * 3
+
+    def test_hybrid_is_default_mode(self, checkpoint):
+        reg = ModelRegistry()
+        reg.register("tiny", checkpoint)
+        with InferenceService(reg, n_workers=1) as svc:
+            out = svc.predict("tiny", window(), cycles=1, sample_interval=0.02)
+        assert out["mode"] == "hybrid"
+        assert out["source"] == ["init", "init", "fno", "pde", "pde"]
+
+    def test_rejects_bad_window(self, checkpoint):
+        reg = ModelRegistry()
+        reg.register("tiny", checkpoint)
+        with InferenceService(reg, n_workers=1) as svc:
+            with pytest.raises(ValueError, match="window must be"):
+                svc.predict("tiny", np.zeros((3, 2, GRID, GRID)))
+
+    def test_concurrent_requests_batch_and_match_single(self, checkpoint):
+        """The tentpole invariant: coalescing changes throughput, not bits."""
+        n_clients = 8
+        windows = [window(seed=100 + i) for i in range(n_clients)]
+
+        reg_single = ModelRegistry()
+        reg_single.register("tiny", checkpoint)
+        with InferenceService(
+            reg_single, BatchPolicy(max_batch=1, max_wait_ms=0, max_queue=64), n_workers=1
+        ) as svc:
+            singles = [svc.predict("tiny", w, mode="fno", cycles=2) for w in windows]
+
+        reg = ModelRegistry()
+        reg.register("tiny", checkpoint)
+        svc = InferenceService(
+            reg, BatchPolicy(max_batch=4, max_wait_ms=100, max_queue=64), n_workers=1
+        )
+        results = [None] * n_clients
+        errors = []
+
+        def client(i):
+            try:
+                results[i] = svc.predict("tiny", windows[i], mode="fno", cycles=2)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        with svc:
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(n_clients)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        assert not errors
+        # (a) bit-for-bit equality with the unbatched responses
+        for single, batched in zip(singles, results):
+            assert np.array_equal(single["velocity"], batched["velocity"])
+            assert np.array_equal(single["times"], batched["times"])
+        # (b) the batch-size histogram proves coalescing happened
+        assert svc.stats.max_batch_seen() >= 2
+        assert sum(results[i]["batch_size"] > 1 for i in range(n_clients)) >= 2
+
+    def test_backpressure_is_an_error_not_a_hang(self, checkpoint):
+        reg = ModelRegistry()
+        reg.register("tiny", checkpoint)
+        svc = InferenceService(
+            reg, BatchPolicy(max_batch=2, max_wait_ms=0, max_queue=2), n_workers=0
+        )
+        # No workers: fill the bounded queue, then the next submit must fail fast.
+        entry = reg.get("tiny")
+        for _ in range(2):
+            svc.queue.submit(PredictRequest(key=("k",), payload={"entry": entry}))
+        with pytest.raises(QueueFullError):
+            svc.predict("tiny", window(), mode="fno")
+        assert svc.stats.n_rejected == 1
+
+    def test_stats_snapshot_shape(self, checkpoint):
+        reg = ModelRegistry()
+        reg.register("tiny", checkpoint)
+        with InferenceService(reg, n_workers=1) as svc:
+            svc.predict("tiny", window(), mode="fno")
+            snap = svc.stats_snapshot()
+        assert snap["requests"]["completed"] == 1
+        assert snap["batch_histogram"] == {"1": 1}
+        assert {"count", "mean", "p50", "p95", "max"} <= set(snap["latency_s"])
+        assert snap["queue_depth"] == 0
+        assert snap["registry"]["cached"] == 1
+
+
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def http_service(checkpoint):
+    reg = ModelRegistry()
+    reg.register("tiny", checkpoint)
+    svc = InferenceService(
+        reg, BatchPolicy(max_batch=4, max_wait_ms=5, max_queue=8), n_workers=1
+    ).start()
+    server = make_server(svc, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield svc, f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    svc.stop()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read()), dict(err.headers)
+
+
+class TestHTTP:
+    def test_healthz(self, http_service):
+        _, base = http_service
+        assert _get(f"{base}/healthz") == (200, {"status": "ok"})
+
+    def test_predict_roundtrip_matches_direct_call(self, http_service):
+        svc, base = http_service
+        w = window(seed=5)
+        code, body, _ = _post(
+            f"{base}/predict", {"model": "tiny", "window": w.tolist(), "mode": "fno", "cycles": 1}
+        )
+        assert code == 200
+        direct = svc.predict("tiny", w, mode="fno", cycles=1)
+        assert np.array_equal(np.asarray(body["velocity"]), direct["velocity"])
+        assert body["source"] == direct["source"]
+
+    def test_predict_unknown_model_404(self, http_service):
+        _, base = http_service
+        code, body, _ = _post(f"{base}/predict", {"model": "nope", "window": [[[[0.0]]]]})
+        assert code == 404 and "nope" in body["error"]
+
+    def test_predict_bad_window_400(self, http_service):
+        _, base = http_service
+        code, body, _ = _post(f"{base}/predict", {"model": "tiny", "window": [1, 2, 3]})
+        assert code == 400
+
+    def test_models_and_evict(self, http_service):
+        svc, base = http_service
+        svc.predict("tiny", window(), mode="fno")
+        code, body = _get(f"{base}/models")
+        assert code == 200
+        (row,) = body["models"]
+        assert row["name"] == "tiny" and row["cached"] is True
+        code, body, _ = _post(f"{base}/models/evict", {"name": "tiny"})
+        assert code == 200 and body["evicted"] is True
+        assert svc.registry.cached_names() == []
+
+    def test_stats_endpoint(self, http_service):
+        svc, base = http_service
+        svc.predict("tiny", window(), mode="fno")
+        code, body = _get(f"{base}/stats")
+        assert code == 200
+        assert body["requests"]["completed"] >= 1
+        assert "batch_histogram" in body and "latency_s" in body
+
+    def test_queue_full_returns_503_with_retry_after(self, checkpoint):
+        reg = ModelRegistry()
+        reg.register("tiny", checkpoint)
+        svc = InferenceService(
+            reg, BatchPolicy(max_batch=2, max_wait_ms=0, max_queue=1), n_workers=0
+        )
+        entry = reg.get("tiny")
+        svc.queue.submit(PredictRequest(key=("k",), payload={"entry": entry}))
+        server = make_server(svc, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            code, body, headers = _post(
+                f"http://{host}:{port}/predict",
+                {"model": "tiny", "window": window().tolist(), "mode": "fno"},
+            )
+            assert code == 503
+            assert "Retry-After" in headers
+            assert body["retry_after_s"] > 0
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_unknown_route_404(self, http_service):
+        _, base = http_service
+        try:
+            code, _ = _get(f"{base}/nope")
+        except urllib.error.HTTPError as err:
+            code = err.code
+        assert code == 404
