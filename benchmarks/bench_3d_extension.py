@@ -96,3 +96,9 @@ def test_3d_extension(benchmark):
     assert res["final_train_loss"] < 0.2
 
     write_results("extension_3d", res)
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_3d)

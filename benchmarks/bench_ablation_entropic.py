@@ -81,3 +81,9 @@ def test_ablation_entropic(benchmark):
     assert ent["alpha_min"] is not None and ent["alpha_min"] < 1.999
 
     write_results("ablation_entropic", res)
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_ablation)

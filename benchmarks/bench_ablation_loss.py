@@ -99,3 +99,9 @@ def test_ablation_loss(benchmark):
         assert v["field_rel_l2"] < 2.0 * res["l2"]["field_rel_l2"]
 
     write_results("ablation_loss", res)
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_ablation)

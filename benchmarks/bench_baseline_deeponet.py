@@ -101,3 +101,9 @@ def test_baseline_deeponet(benchmark):
     assert res["deeponet_resolution_locked"]
 
     write_results("baseline_deeponet", res)
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_baseline)

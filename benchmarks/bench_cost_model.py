@@ -90,3 +90,9 @@ def test_cost_model(benchmark):
     write_results("cost_model", {
         name: summary for name, (_, summary) in res.items()
     })
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_costs)

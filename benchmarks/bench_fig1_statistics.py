@@ -71,3 +71,9 @@ def test_fig1_statistics(benchmark):
         "enstrophy_norm_mean": curves["enstrophy_norm"].mean(axis=0),
         "max_abs_mean_vorticity": float(np.abs(curves["mean_raw"]).max()),
     })
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_fig1)

@@ -36,3 +36,9 @@ def test_fig2_separation(benchmark):
     assert np.all(np.diff(mean_curve) > -0.05 * mean_curve.max())
 
     write_results("fig2_separation", {"times": times, "separation": seps})
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_fig2)

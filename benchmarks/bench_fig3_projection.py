@@ -37,3 +37,9 @@ def test_fig3_projection(benchmark):
     assert mean_corr[-1] < mean_corr[0]
 
     write_results("fig3_projection", {"times": times, "projection": proj, "correlation": corr})
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_fig3)

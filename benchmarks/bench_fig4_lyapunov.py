@@ -72,3 +72,9 @@ def test_fig4_lyapunov(benchmark):
         "lyapunov_time_tc": float(1.0 / exp_tc.max()),
         "paper_reference": {"lambda_max": 2.15, "lambda_mean": 1.7, "T_L": 0.45},
     })
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_fig4)

@@ -105,3 +105,9 @@ def test_fig5_channels(benchmark):
             for (width, n_out), r in results.items()
         },
     })
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_fig5)

@@ -99,3 +99,9 @@ def test_fig6_tuning2d(benchmark):
         assert max(r["errors"]) < 1.0
 
     write_results("fig6_tuning2d", results)
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_fig6)

@@ -113,3 +113,9 @@ def test_fig7_tuning3d(benchmark):
         name: {"errors": r["errors"], "parameters": r["parameters"], "seconds": r["seconds"]}
         for name, r in results.items()
     })
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_fig7)

@@ -126,3 +126,9 @@ def test_fig8_hybrid_stats(benchmark):
         }
         for name, d in diags.items()
     })
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_fig8)

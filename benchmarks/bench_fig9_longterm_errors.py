@@ -91,3 +91,9 @@ def test_fig9_longterm_errors(benchmark):
     assert res["ke_err_hybrid"].max() < 60.0
 
     write_results("fig9_longterm_errors", res)
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_fig9)

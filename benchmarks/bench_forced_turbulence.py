@@ -94,3 +94,9 @@ def test_forced_turbulence(benchmark):
         "model_err": model_err,
         "persistence_err": base_err,
     })
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_forced)

@@ -181,4 +181,6 @@ def run_serve_throughput() -> dict:
 
 
 if __name__ == "__main__":
-    run_serve_throughput()
+    from common import bench_entry
+
+    bench_entry(run_serve_throughput)

@@ -69,3 +69,9 @@ def test_spectral_bias(benchmark):
         "fidelity_wavenumber": fidelity,
         "resolved_max_k": k_nyq_resolved,
     })
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_bias)

@@ -79,3 +79,9 @@ def test_super_resolution(benchmark):
     write_results("super_resolution", {
         "err_fine": err_fine, "err_coarse": err_coarse, "consistency": consistency,
     })
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_superres)

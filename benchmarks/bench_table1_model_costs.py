@@ -129,3 +129,9 @@ def test_table1_model_costs(benchmark):
         "epoch_seconds_2d": timing["sec_2d"],
         "epoch_seconds_3d": timing["sec_3d"],
     })
+
+
+if __name__ == "__main__":
+    from common import bench_entry
+
+    bench_entry(run_table1)

@@ -211,6 +211,38 @@ def _fmt(value) -> str:
     return str(value)
 
 
+def bench_entry(fn):
+    """Run a benchmark main under the shared benchmark CLI.
+
+    One flag for now: ``--sanitize`` wraps the whole run in
+    :func:`repro.checks.dtype_sanitizer` (record mode) and fails the
+    benchmark if any tensor op silently widened float32 inputs to
+    float64/complex128 — the runtime complement of ``repro check``'s
+    static RPR001 rule.
+    """
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(prog=fn.__module__ or "bench")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="assert no tensor op promotes float32 to float64/complex128")
+    args = parser.parse_args()
+    if not args.sanitize:
+        fn()
+        return
+    from repro.checks import dtype_sanitizer
+
+    with dtype_sanitizer(mode="record") as report:
+        fn()
+    if report.ok:
+        print("sanitize: no float32 promotions observed")
+    else:
+        print(f"sanitize: {len(report.violations)} promotion(s) observed:", file=sys.stderr)
+        for message in report.violations[:20]:
+            print(f"  {message}", file=sys.stderr)
+        raise SystemExit(1)
+
+
 def write_results(name: str, payload: dict) -> None:
     """Persist a benchmark's result dict to ``benchmarks/results``."""
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -9,6 +9,10 @@ from __future__ import annotations
 
 import numpy as np
 
+# scipy's pocketfft preserves single precision (np.fft promotes to
+# complex128) — the repo-wide transform policy (RPR001).
+from scipy import fft as _fft
+
 from ..ns.fields import wavenumbers
 
 __all__ = ["energy_spectrum", "enstrophy_spectrum"]
@@ -39,8 +43,8 @@ def energy_spectrum(velocity: np.ndarray, length: float = 2.0 * np.pi) -> tuple[
     ``Σ_k E(k) ≈ ½⟨|u|²⟩`` (Parseval with mean normalisation).
     """
     n = velocity.shape[-1]
-    u_hat = np.fft.rfft2(velocity[0]) / (n * n)
-    v_hat = np.fft.rfft2(velocity[1]) / (n * n)
+    u_hat = _fft.rfft2(velocity[0]) / (n * n)
+    v_hat = _fft.rfft2(velocity[1]) / (n * n)
     dens = 0.5 * (np.abs(u_hat) ** 2 + np.abs(v_hat) ** 2) * _half_weights(n)
     return _shell_sum(dens, n, length)
 
@@ -48,7 +52,7 @@ def energy_spectrum(velocity: np.ndarray, length: float = 2.0 * np.pi) -> tuple[
 def enstrophy_spectrum(omega: np.ndarray, length: float = 2.0 * np.pi) -> tuple[np.ndarray, np.ndarray]:
     """Shell-summed enstrophy spectrum from ``(n, n)`` vorticity."""
     n = omega.shape[-1]
-    w_hat = np.fft.rfft2(omega) / (n * n)
+    w_hat = _fft.rfft2(omega) / (n * n)
     dens = 0.5 * np.abs(w_hat) ** 2 * _half_weights(n)
     return _shell_sum(dens, n, length)
 

@@ -1,0 +1,35 @@
+"""repro.checks — custom static analysis + runtime sanitizers.
+
+Two complementary halves:
+
+* **Static** (stdlib ``ast``, zero dependencies): an engine running the
+  RPR rule pack over source trees with per-line suppression comments
+  (``# repro: ignore[RPR001]``), a committed baseline for grandfathered
+  findings, and the ``repro check`` CLI — see :mod:`repro.checks.cli`.
+* **Runtime**: :func:`dtype_sanitizer`, a context manager asserting that
+  no tensor op silently widens float32 inputs to float64/complex128.
+
+Typical use::
+
+    from repro.checks import check_paths, load_baseline
+    result = check_paths(["src"], baseline=load_baseline("checks-baseline.json"))
+    assert result.ok, result.findings
+
+    from repro.checks import dtype_sanitizer
+    with dtype_sanitizer():
+        model(Tensor(window.astype(np.float32)))
+"""
+
+from .baseline import Baseline, load_baseline, write_baseline
+from .engine import check_paths, classify_zone, iter_python_files
+from .findings import CheckResult, Finding
+from .registry import FileContext, RuleSpec, all_rules, get_rule, rule
+from .sanitizer import DtypePromotionError, SanitizerReport, dtype_sanitizer
+
+__all__ = [
+    "Baseline", "load_baseline", "write_baseline",
+    "check_paths", "classify_zone", "iter_python_files",
+    "CheckResult", "Finding",
+    "FileContext", "RuleSpec", "all_rules", "get_rule", "rule",
+    "DtypePromotionError", "SanitizerReport", "dtype_sanitizer",
+]

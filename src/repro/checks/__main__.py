@@ -1,0 +1,6 @@
+"""``python -m repro.checks`` — standalone entry point for CI."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""Suppression comments: ``# repro: ignore[RULE]`` parsing.
+
+Two scopes are supported:
+
+* **Line** — ``# repro: ignore[RPR001]`` (or ``ignore[RPR001,RPR003]``,
+  or a bare ``ignore`` for every rule) on the offending line *or the
+  line directly above it*.  A justification may follow after ``--``::
+
+      self._items = kept  # repro: ignore[RPR002] -- caller holds the lock
+
+* **File** — ``# repro: ignore-file[RPR001]`` on a comment-only line
+  anywhere in the file silences the rule for the whole file.
+
+Rule lists are comma-separated; unknown rule names are kept verbatim so
+suppressions never crash the checker (they simply match nothing).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_LINE_RE = re.compile(r"#\s*repro:\s*ignore(?!-file)(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?")
+_FILE_RE = re.compile(r"^\s*#\s*repro:\s*ignore-file\[(?P<rules>[A-Za-z0-9_,\s]*)\]")
+
+ALL_RULES = "*"
+
+
+def _split_rules(spec: str | None) -> frozenset[str]:
+    if spec is None:
+        return frozenset({ALL_RULES})
+    rules = frozenset(r.strip() for r in spec.split(",") if r.strip())
+    return rules or frozenset({ALL_RULES})
+
+
+class Suppressions:
+    """Per-file suppression state queried by the engine."""
+
+    def __init__(self, line_rules: dict[int, frozenset[str]], file_rules: frozenset[str]):
+        self._line_rules = line_rules
+        self._file_rules = file_rules
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self._file_rules or ALL_RULES in self._file_rules:
+            return True
+        # The comment may sit on the offending line or the line above it.
+        for candidate in (line, line - 1):
+            rules = self._line_rules.get(candidate)
+            if rules is not None and (rule in rules or ALL_RULES in rules):
+                return True
+        return False
+
+
+def parse_suppressions(source_lines: list[str]) -> Suppressions:
+    """Extract suppression comments from raw source lines (1-indexed)."""
+    line_rules: dict[int, frozenset[str]] = {}
+    file_rules: frozenset[str] = frozenset()
+    for i, text in enumerate(source_lines, start=1):
+        file_match = _FILE_RE.search(text)
+        if file_match:
+            file_rules = file_rules | _split_rules(file_match.group("rules"))
+            continue
+        match = _LINE_RE.search(text)
+        if match:
+            existing = line_rules.get(i, frozenset())
+            line_rules[i] = existing | _split_rules(match.group("rules"))
+    return Suppressions(line_rules, file_rules)

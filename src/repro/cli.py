@@ -100,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allow batch-size-dependent last-ulp differences for a faster "
                         "mode-mixing einsum")
     s.add_argument("--verbose", action="store_true", help="log every HTTP request")
+
+    c = sub.add_parser("check", help="run the repro static-analysis rule pack")
+    from repro.checks.cli import add_check_arguments
+
+    add_check_arguments(c)
     return parser
 
 
@@ -300,6 +305,12 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.checks.cli import run_check
+
+    return run_check(args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
@@ -307,6 +318,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "inspect": _cmd_inspect,
     "serve": _cmd_serve,
+    "check": _cmd_check,
 }
 
 

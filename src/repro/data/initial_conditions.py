@@ -15,6 +15,7 @@ Both return fields in physical units normalised so the RMS velocity is
 from __future__ import annotations
 
 import numpy as np
+from scipy import fft as _fft
 
 from ..ns.fields import rms_velocity, velocity_from_vorticity, vorticity_from_velocity, wavenumbers
 from ..utils.rng import as_generator
@@ -76,7 +77,7 @@ def band_limited_vorticity(
     if n % 2 == 0:
         w_hat[n // 2, :] = 0.0
         w_hat[:, -1] = 0.0
-    omega = np.fft.irfft2(w_hat, s=(n, n))
+    omega = _fft.irfft2(w_hat, s=(n, n))
     omega -= omega.mean()
     u = velocity_from_vorticity(omega, length)
     scale = u0 / max(rms_velocity(u), 1e-30)

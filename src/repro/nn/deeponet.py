@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor import Tensor, ops
+from ..utils.rng import fallback_rng
 from .linear import Linear
 from .module import Module, ModuleList, Parameter
 
@@ -65,7 +66,7 @@ class DeepONet2d(Module):
         dtype=np.float64,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = fallback_rng(rng)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.grid_size = int(grid_size)

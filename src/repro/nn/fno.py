@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor import Tensor, ops
+from ..utils.rng import fallback_rng
 from .linear import ChannelLinear, ChannelMLP
 from .module import Module, ModuleList
 from .spectral import SolenoidalProjection2d, SpectralConv1d, SpectralConv2d, SpectralConv3d
@@ -59,7 +60,7 @@ class FNO1d(Module):
         dtype=np.float64,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = fallback_rng(rng)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.modes = int(modes)
@@ -161,7 +162,7 @@ class FNO2d(Module):
         dtype=np.float64,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = fallback_rng(rng)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.modes1, self.modes2 = int(modes1), int(modes2)
@@ -245,7 +246,7 @@ class FNO3d(Module):
         dtype=np.float64,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = fallback_rng(rng)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.modes1, self.modes2, self.modes3 = int(modes1), int(modes2), int(modes3)

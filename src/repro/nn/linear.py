@@ -12,6 +12,7 @@ import math
 import numpy as np
 
 from ..tensor import Tensor, ops
+from ..utils.rng import fallback_rng
 from .module import Module, Parameter
 
 __all__ = ["ChannelLinear", "Linear", "ChannelMLP"]
@@ -39,7 +40,7 @@ class ChannelLinear(Module):
         dtype=np.float64,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = fallback_rng(rng)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.weight = Parameter(
@@ -65,7 +66,7 @@ class Linear(Module):
         dtype=np.float64,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = fallback_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(
@@ -97,7 +98,7 @@ class ChannelMLP(Module):
         dtype=np.float64,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = fallback_rng(rng)
         from .fno import _resolve_activation  # local import: avoids a cycle
 
         self.activation = str(activation)

@@ -132,6 +132,7 @@ class Sequential(Module):
         return self._items[i]
 
 
+# repro: ignore[RPR004] -- pure container: iterated by owners, never called
 class ModuleList(Module):
     """List-like container whose entries are registered submodules."""
 

@@ -19,6 +19,7 @@ from ..tensor import (
     spectral_conv2d,
     spectral_conv3d,
 )
+from ..utils.rng import fallback_rng
 from .module import Module, Parameter
 
 __all__ = ["SpectralConv1d", "SpectralConv2d", "SpectralConv3d", "SolenoidalProjection2d"]
@@ -40,7 +41,7 @@ class SpectralConv1d(Module):
         dtype=np.float64,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = fallback_rng(rng)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.modes = int(modes)
@@ -96,7 +97,7 @@ class SpectralConv2d(Module):
         dtype=np.float64,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = fallback_rng(rng)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.modes1 = int(modes1)
@@ -130,7 +131,7 @@ class SpectralConv3d(Module):
         dtype=np.float64,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = fallback_rng(rng)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.modes1 = int(modes1)

@@ -69,8 +69,11 @@ class PredictRequest:
     batch_size: int = 0
 
     def finish(self, result: dict | None = None, error: Exception | None = None) -> None:
-        self.result = result
-        self.error = error
+        # Safe publication: both fields are written before done.set(), and
+        # wait() only reads them after done.wait() — the Event provides the
+        # happens-before edge, so no lock is needed.
+        self.result = result  # repro: ignore[RPR002] -- published via done.set() barrier
+        self.error = error  # repro: ignore[RPR002] -- published via done.set() barrier
         self.done.set()
 
     def wait(self, timeout: float | None = None) -> dict:
@@ -135,7 +138,7 @@ class BatchQueue:
                 taken.append(item)
             else:
                 kept.append(item)
-        self._items = kept
+        self._items = kept  # repro: ignore[RPR002] -- caller holds self._not_empty (see docstring)
         return taken
 
     def next_batch(self, poll_timeout: float = 0.1) -> list[PredictRequest] | None:

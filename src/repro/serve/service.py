@@ -14,6 +14,7 @@ windowed mode is the safe serving default and pure FNO is opt-in.
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
@@ -85,19 +86,22 @@ class InferenceService:
         self.stats = ServerStats()
         self.queue = BatchQueue(self.policy)
         self.workers = WorkerPool(self.queue, self._execute, n_workers=n_workers)
+        self._lifecycle_lock = threading.Lock()
         self._started = False
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "InferenceService":
-        if not self._started:
-            self.workers.start()
-            self._started = True
+        with self._lifecycle_lock:
+            if not self._started:
+                self.workers.start()
+                self._started = True
         return self
 
     def stop(self) -> None:
-        if self._started:
-            self.workers.stop()
-            self._started = False
+        with self._lifecycle_lock:
+            if self._started:
+                self.workers.stop()
+                self._started = False
 
     def __enter__(self) -> "InferenceService":
         return self.start()

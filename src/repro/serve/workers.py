@@ -30,16 +30,18 @@ class WorkerPool:
         self.execute = execute
         self.n_workers = int(n_workers)
         self.name = name
+        self._lock = threading.Lock()
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
 
     def start(self) -> None:
-        if self._threads:
-            raise RuntimeError("worker pool already started")
-        for i in range(self.n_workers):
-            thread = threading.Thread(target=self._run, name=f"{self.name}-{i}", daemon=True)
-            thread.start()
-            self._threads.append(thread)
+        with self._lock:
+            if self._threads:
+                raise RuntimeError("worker pool already started")
+            for i in range(self.n_workers):
+                thread = threading.Thread(target=self._run, name=f"{self.name}-{i}", daemon=True)
+                thread.start()
+                self._threads.append(thread)
 
     def _run(self) -> None:
         while not self._stop.is_set():
@@ -64,11 +66,13 @@ class WorkerPool:
         self.queue.close()
         for request in self.queue.drain():
             request.finish(error=RuntimeError("service shutting down"))
+        with self._lock:
+            threads, self._threads = self._threads, []
         if join:
-            for thread in self._threads:
+            for thread in threads:
                 thread.join(timeout)
-        self._threads = []
-        self._stop = threading.Event()
+        with self._lock:
+            self._stop = threading.Event()
 
     @property
     def alive(self) -> int:

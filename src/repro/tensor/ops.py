@@ -35,12 +35,26 @@ def _t(value) -> Tensor:
     return value if isinstance(value, Tensor) else Tensor(value)
 
 
+def _t2(a, b) -> tuple[Tensor, Tensor]:
+    """Coerce a binary-op operand pair to tensors.
+
+    A bare Python scalar adopts the tensor operand's dtype (NEP-50 weak
+    scalar semantics): ``x32 * 0.5`` stays float32 instead of the literal
+    widening the whole pipeline to float64.
+    """
+    if isinstance(a, Tensor) and not isinstance(b, Tensor) and isinstance(b, (int, float)) and not isinstance(b, bool):
+        return a, Tensor(np.asarray(b, dtype=a.data.dtype))
+    if isinstance(b, Tensor) and not isinstance(a, Tensor) and isinstance(a, (int, float)) and not isinstance(a, bool):
+        return Tensor(np.asarray(a, dtype=b.data.dtype)), b
+    return _t(a), _t(b)
+
+
 # ---------------------------------------------------------------------------
 # arithmetic
 # ---------------------------------------------------------------------------
 
 def add(a, b) -> Tensor:
-    a, b = _t(a), _t(b)
+    a, b = _t2(a, b)
     out_data = a.data + b.data
 
     def backward(g: np.ndarray) -> None:
@@ -51,7 +65,7 @@ def add(a, b) -> Tensor:
 
 
 def sub(a, b) -> Tensor:
-    a, b = _t(a), _t(b)
+    a, b = _t2(a, b)
     out_data = a.data - b.data
 
     def backward(g: np.ndarray) -> None:
@@ -62,7 +76,7 @@ def sub(a, b) -> Tensor:
 
 
 def mul(a, b) -> Tensor:
-    a, b = _t(a), _t(b)
+    a, b = _t2(a, b)
     out_data = a.data * b.data
 
     def backward(g: np.ndarray) -> None:
@@ -75,7 +89,7 @@ def mul(a, b) -> Tensor:
 
 
 def div(a, b) -> Tensor:
-    a, b = _t(a), _t(b)
+    a, b = _t2(a, b)
     out_data = a.data / b.data
 
     def backward(g: np.ndarray) -> None:
@@ -119,7 +133,7 @@ def square(a) -> Tensor:
 
 
 def matmul(a, b) -> Tensor:
-    a, b = _t(a), _t(b)
+    a, b = _t2(a, b)
     out_data = a.data @ b.data
 
     def backward(g: np.ndarray) -> None:
@@ -141,7 +155,7 @@ def matmul(a, b) -> Tensor:
 
 def dot(a, b) -> Tensor:
     """Inner product of two flattened tensors."""
-    a, b = _t(a), _t(b)
+    a, b = _t2(a, b)
     out_data = np.asarray(np.vdot(a.data, b.data))
 
     def backward(g: np.ndarray) -> None:
@@ -410,7 +424,7 @@ def clip(a, lo: float, hi: float) -> Tensor:
 
 
 def maximum(a, b) -> Tensor:
-    a, b = _t(a), _t(b)
+    a, b = _t2(a, b)
     out_data = np.maximum(a.data, b.data)
 
     def backward(g: np.ndarray) -> None:
@@ -424,7 +438,7 @@ def maximum(a, b) -> Tensor:
 
 
 def minimum(a, b) -> Tensor:
-    a, b = _t(a), _t(b)
+    a, b = _t2(a, b)
     out_data = np.minimum(a.data, b.data)
 
     def backward(g: np.ndarray) -> None:
@@ -439,7 +453,7 @@ def minimum(a, b) -> Tensor:
 
 def where(cond, a, b) -> Tensor:
     cond = np.asarray(cond.data if isinstance(cond, Tensor) else cond, dtype=bool)
-    a, b = _t(a), _t(b)
+    a, b = _t2(a, b)
     out_data = np.where(cond, a.data, b.data)
 
     def backward(g: np.ndarray) -> None:

@@ -67,7 +67,9 @@ def asarray(value, dtype=None) -> np.ndarray:
     if dtype is not None:
         arr = arr.astype(dtype, copy=False)
     elif arr.dtype not in (np.float32, np.float64):
-        arr = arr.astype(np.float64)
+        # Non-float input (int/bool lists, scalars) lands on the float64
+        # default; float32 arrays pass through untouched above.
+        arr = arr.astype(np.float64)  # repro: ignore[RPR001] -- coercion of non-float input only
     return arr
 
 

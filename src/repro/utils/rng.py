@@ -10,14 +10,37 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["spawn_rngs", "as_generator"]
+__all__ = ["spawn_rngs", "as_generator", "fallback_rng", "DEFAULT_SEED"]
+
+# Seed used when a caller does not care about the stream: deterministic
+# by default, so "I didn't pass an rng" never means "irreproducible run".
+DEFAULT_SEED = 0
 
 
 def as_generator(seed_or_rng) -> np.random.Generator:
-    """Coerce a seed (int/None) or Generator into a Generator."""
+    """Coerce a seed (int/None) or Generator into a Generator.
+
+    ``None`` maps to :data:`DEFAULT_SEED`, not OS entropy: every
+    optional-rng API in the repo is reproducible by default (RPR003).
+    Pass a Generator (or distinct seeds) to get distinct streams.
+    """
     if isinstance(seed_or_rng, np.random.Generator):
         return seed_or_rng
+    if seed_or_rng is None:
+        seed_or_rng = DEFAULT_SEED
     return np.random.default_rng(seed_or_rng)
+
+
+def fallback_rng(rng: np.random.Generator | None, seed: int = DEFAULT_SEED) -> np.random.Generator:
+    """``rng`` unchanged, or a deterministically seeded Generator when None.
+
+    The reproducible replacement for the ``rng or np.random.default_rng()``
+    idiom: optional-rng APIs stay convenient without an unseeded stream
+    sneaking in (RPR003).
+    """
+    if rng is not None:
+        return rng
+    return np.random.default_rng(seed)
 
 
 def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
