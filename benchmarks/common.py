@@ -214,33 +214,57 @@ def _fmt(value) -> str:
 def bench_entry(fn):
     """Run a benchmark main under the shared benchmark CLI.
 
-    One flag for now: ``--sanitize`` wraps the whole run in
+    ``--sanitize`` wraps the whole run in
     :func:`repro.checks.dtype_sanitizer` (record mode) and fails the
     benchmark if any tensor op silently widened float32 inputs to
     float64/complex128 — the runtime complement of ``repro check``'s
-    static RPR001 rule.
+    static RPR001 rule.  ``--trace PATH`` streams an obs span trace to
+    PATH (``--profile`` additionally installs the tensor/FFT/solver
+    hooks); render the result with ``repro trace PATH``.  The
+    ``REPRO_OBS`` / ``REPRO_OBS_PROFILE`` environment variables are
+    honoured when the flags are absent.
     """
     import argparse
     import sys
 
+    from repro import obs
+
     parser = argparse.ArgumentParser(prog=fn.__module__ or "bench")
     parser.add_argument("--sanitize", action="store_true",
                         help="assert no tensor op promotes float32 to float64/complex128")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write an obs span trace (JSONL) to PATH")
+    parser.add_argument("--profile", action="store_true",
+                        help="with --trace: install the hot-path profiling hooks")
     args = parser.parse_args()
-    if not args.sanitize:
-        fn()
-        return
-    from repro.checks import dtype_sanitizer
 
-    with dtype_sanitizer(mode="record") as report:
-        fn()
-    if report.ok:
-        print("sanitize: no float32 promotions observed")
+    if args.trace:
+        obs.configure(trace_path=args.trace, profile=args.profile, keep_records=False)
     else:
-        print(f"sanitize: {len(report.violations)} promotion(s) observed:", file=sys.stderr)
-        for message in report.violations[:20]:
-            print(f"  {message}", file=sys.stderr)
-        raise SystemExit(1)
+        obs.configure_from_env()
+
+    def run():
+        if not args.sanitize:
+            fn()
+            return
+        from repro.checks import dtype_sanitizer
+
+        with dtype_sanitizer(mode="record") as report:
+            fn()
+        if report.ok:
+            print("sanitize: no float32 promotions observed")
+        else:
+            print(f"sanitize: {len(report.violations)} promotion(s) observed:", file=sys.stderr)
+            for message in report.violations[:20]:
+                print(f"  {message}", file=sys.stderr)
+            raise SystemExit(1)
+
+    try:
+        run()
+    finally:
+        obs.shutdown()
+        if args.trace:
+            print(f"trace written to {args.trace}")
 
 
 def write_results(name: str, payload: dict) -> None:

@@ -7,8 +7,9 @@
 | RPR003 | reproducibility   | unseeded RNGs, legacy global np.random state     |
 | RPR004 | api-contracts     | broken Module registration, mutable defaults     |
 | RPR005 | numerics-hygiene  | silent except/NaN handling, dropped dealias flag |
+| RPR006 | obs-hygiene       | wall-clock durations, spans entered without with |
 """
 
-from . import api, dtype, numerics, rng, threads  # noqa: F401
+from . import api, dtype, numerics, obs, rng, threads  # noqa: F401
 
-__all__ = ["api", "dtype", "numerics", "rng", "threads"]
+__all__ = ["api", "dtype", "numerics", "obs", "rng", "threads"]

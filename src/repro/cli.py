@@ -1,6 +1,7 @@
 """Command-line interface.
 
-Six subcommands cover the paper's workflow end to end, plus deployment::
+The subcommands cover the paper's workflow end to end, plus deployment
+and observability::
 
     python -m repro.cli generate --grid 32 --samples 8 --out data.npz
     python -m repro.cli train    --data data.npz --epochs 30 --out model.npz
@@ -8,9 +9,13 @@ Six subcommands cover the paper's workflow end to end, plus deployment::
     python -m repro.cli analyze  --data data.npz
     python -m repro.cli inspect  model.npz
     python -m repro.cli serve    --model tiny=model.npz --port 8764
+    python -m repro.cli trace    run.trace.jsonl
+    python -m repro.cli profile  benchmarks/bench_fig2_separation.py
 
 Every option has a CPU-friendly default; the paper-scale settings are
 plain flag values away (``--grid 256 --reynolds 7500 --samples 5000``).
+Setting ``REPRO_OBS=trace.jsonl`` (and optionally ``REPRO_OBS_PROFILE=1``)
+turns on span tracing for any subcommand.
 """
 
 from __future__ import annotations
@@ -105,6 +110,14 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.checks.cli import add_check_arguments
 
     add_check_arguments(c)
+
+    from repro.obs.cli import add_profile_arguments, add_trace_arguments
+
+    tr = sub.add_parser("trace", help="render the span tree of a JSONL trace")
+    add_trace_arguments(tr)
+
+    p = sub.add_parser("profile", help="run a script under obs instrumentation")
+    add_profile_arguments(p)
     return parser
 
 
@@ -311,6 +324,18 @@ def _cmd_check(args) -> int:
     return run_check(args)
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs.cli import run_trace
+
+    return run_trace(args)
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.cli import run_profile
+
+    return run_profile(args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
@@ -319,10 +344,15 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "serve": _cmd_serve,
     "check": _cmd_check,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro import obs
+
+    obs.configure_from_env()
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..analysis.statistics import (
     divergence_evolution,
     global_enstrophy_evolution,
@@ -29,7 +30,7 @@ from ..analysis.statistics import (
 )
 from ..nn import Module
 from ..ns.base import NSSolverBase
-from ..ns.fields import enstrophy, vorticity_from_velocity
+from ..ns.fields import divergence, enstrophy, kinetic_energy, vorticity_from_velocity
 from .config import HybridConfig
 from .rollout import apply_channels, rollout_channels
 
@@ -77,6 +78,28 @@ class RolloutRecord:
             "global_enstrophy": global_enstrophy_evolution(omega),
             "rms_divergence": divergence_evolution(self.velocity, self.length),
         }
+
+
+def _emit_rollout_diagnostics(u: np.ndarray, length: float, t: float, phase: str) -> None:
+    """Physics gauges + trace event for the newest roll-out snapshot.
+
+    Only called behind ``obs.enabled()`` — the divergence/enstrophy FFTs
+    are pure observability cost.  This is how the paper's Fig. 9 error
+    growth becomes observable *live*: KE drift and divergence blow-up
+    show up in the gauges/trace thousands of steps before the roll-out
+    visibly diverges.
+    """
+    omega = vorticity_from_velocity(u, length)
+    ke = kinetic_energy(u)
+    ens = enstrophy(omega)
+    rms_div = float(np.sqrt(np.mean(divergence(u, length) ** 2)))
+    obs.metric_gauge("rollout_kinetic_energy", ke)
+    obs.metric_gauge("rollout_enstrophy", ens)
+    obs.metric_gauge("rollout_rms_divergence", rms_div)
+    obs.event(
+        "rollout.diag", t=float(t), phase=phase,
+        kinetic_energy=ke, enstrophy=ens, rms_divergence=rms_div,
+    )
 
 
 def _window_to_channels(window: np.ndarray) -> np.ndarray:
@@ -224,20 +247,34 @@ def run_hybrid_batched(
         [windows[b, i] for i in range(cfg.n_in)] for b in range(B)
     ]
     source = ["init"] * cfg.n_in
-    for _ in range(cfg.n_cycles):
-        stacked = np.stack([np.stack(s[-cfg.n_in :]) for s in snaps])
-        x = stacked.reshape(B, expected_in, n1, n2)
-        pred = apply_channels(model, x, normalizer)
-        for b in range(B):
-            snaps[b].extend(pred[b].reshape(cfg.n_out, cfg.n_fields, n1, n2))
-        source.extend(["fno"] * cfg.n_out)
+    with obs.span("hybrid.run", batch=B, cycles=cfg.n_cycles, grid=n1):
+        for cycle in range(cfg.n_cycles):
+            with obs.span("hybrid.cycle", cycle=cycle):
+                with obs.span("hybrid.fno"):
+                    stacked = np.stack([np.stack(s[-cfg.n_in :]) for s in snaps])
+                    x = stacked.reshape(B, expected_in, n1, n2)
+                    pred = apply_channels(model, x, normalizer)
+                    for b in range(B):
+                        snaps[b].extend(pred[b].reshape(cfg.n_out, cfg.n_fields, n1, n2))
+                    source.extend(["fno"] * cfg.n_out)
+                if obs.enabled():
+                    _emit_rollout_diagnostics(
+                        snaps[0][-1], solvers[0].length,
+                        t=t0 + (len(snaps[0]) - 1) * cfg.sample_interval, phase="fno",
+                    )
 
-        for b, solver in enumerate(solvers):
-            solver.set_velocity(snaps[b][-1])
-            for _ in range(cfg.n_in):
-                solver.advance(dt_phys)
-                snaps[b].append(solver.velocity)
-        source.extend(["pde"] * cfg.n_in)
+                with obs.span("hybrid.pde"):
+                    for b, solver in enumerate(solvers):
+                        solver.set_velocity(snaps[b][-1])
+                        for _ in range(cfg.n_in):
+                            solver.advance(dt_phys)
+                            snaps[b].append(solver.velocity)
+                    source.extend(["pde"] * cfg.n_in)
+                if obs.enabled():
+                    _emit_rollout_diagnostics(
+                        snaps[0][-1], solvers[0].length,
+                        t=t0 + (len(snaps[0]) - 1) * cfg.sample_interval, phase="pde",
+                    )
 
     times = t0 + np.arange(len(snaps[0])) * cfg.sample_interval
     return [
@@ -298,9 +335,15 @@ def run_pure_fno_batched(
     if nf != n_fields:
         raise ValueError(f"windows have {nf} field components, expected {n_fields}")
     window_ch = windows.reshape(B, n_in * n_fields, n1, n2)
-    preds = rollout_channels(model, window_ch, n_snapshots, n_fields, normalizer)
+    with obs.span("rollout.pure_fno", batch=B, snapshots=n_snapshots, grid=n1):
+        preds = rollout_channels(model, window_ch, n_snapshots, n_fields, normalizer)
     pred_snaps = preds.reshape(B, preds.shape[1] // n_fields, n_fields, n1, n2)
     times = t0 + np.arange(n_in + pred_snaps.shape[1]) * sample_interval
+    if obs.enabled() and n_fields == 2:
+        for i in range(pred_snaps.shape[1]):
+            _emit_rollout_diagnostics(
+                pred_snaps[0, i], length, t=float(times[n_in + i]), phase="fno"
+            )
     source = ["init"] * n_in + ["fno"] * pred_snaps.shape[1]
     return [
         RolloutRecord(

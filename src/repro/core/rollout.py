@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..nn import Module
 from ..tensor import Tensor, no_grad
 
@@ -80,7 +81,8 @@ def rollout_channels(
     produced: list[np.ndarray] = []
     total = 0
     while total < n_snapshots:
-        pred = apply_channels(model, history[:, -n_in_ch:], normalizer)
+        with obs.span("rollout.window", produced=total, batch=window.shape[0]):
+            pred = apply_channels(model, history[:, -n_in_ch:], normalizer)
         produced.append(pred)
         history = np.concatenate([history, pred], axis=1)
         total += n_out
@@ -105,8 +107,9 @@ def rollout_spacetime(
     history = block.copy()
     outputs: list[np.ndarray] = []
     n_in = block.shape[-1]
-    for _ in range(n_windows):
-        pred = apply_channels(model, history[..., -n_in:], normalizer)
+    for i in range(n_windows):
+        with obs.span("rollout.window", produced=i, batch=block.shape[0]):
+            pred = apply_channels(model, history[..., -n_in:], normalizer)
         outputs.append(pred)
         history = np.concatenate([history, pred], axis=-1)
     return np.concatenate(outputs, axis=-1)

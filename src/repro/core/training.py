@@ -10,12 +10,12 @@ where it stopped — important for the paper-scale multi-hour trainings
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
+from .. import obs
 from ..data.loader import DataLoader
 from ..nn import DivergenceLoss, H1Loss, LpLoss, Module, MSELoss
 from ..optim import Adam, StepLR
@@ -98,12 +98,16 @@ class Trainer:
         self.model.train()
         total, count = 0.0, 0
         for xb, yb in loader:
-            self.model.zero_grad()
-            loss = self.loss(self.model(xb), yb)
-            loss.backward()
-            self.optimizer.step()
-            total += loss.item() * xb.shape[0]
+            with obs.span("train.batch", size=xb.shape[0]) as sp:
+                self.model.zero_grad()
+                loss = self.loss(self.model(xb), yb)
+                loss.backward()
+                self.optimizer.step()
+                batch_loss = loss.item()
+                sp.set(loss=batch_loss)
+            total += batch_loss * xb.shape[0]
             count += xb.shape[0]
+            obs.metric_counter("train_batches_total")
         return total / max(count, 1)
 
     def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int | None = None) -> float:
@@ -204,26 +208,40 @@ class Trainer:
         # order it would have seen uninterrupted.
         for _ in range(self.epochs_completed):
             loader._rng.permutation(len(x_train))
-        for epoch in range(self.epochs_completed, self.config.epochs):
-            start = time.perf_counter()
-            train_loss = self.train_epoch(loader)
-            self.scheduler.step()
-            elapsed = time.perf_counter() - start
+        with obs.span("train.fit", epochs=self.config.epochs,
+                      start_epoch=self.epochs_completed):
+            for epoch in range(self.epochs_completed, self.config.epochs):
+                # The span is the single monotonic stopwatch for the epoch:
+                # the trace record and history.epoch_seconds are the same
+                # number by construction (and NTP steps cannot corrupt it,
+                # unlike wall-clock time.time()).
+                with obs.span("train.epoch", epoch=epoch) as sp:
+                    train_loss = self.train_epoch(loader)
+                    self.scheduler.step()
+                    sp.set(loss=train_loss, lr=self.optimizer.lr)
+                elapsed = sp.duration
 
-            self.history.train_loss.append(train_loss)
-            self.history.learning_rate.append(self.optimizer.lr)
-            self.history.epoch_seconds.append(elapsed)
-            if x_val is not None and y_val is not None:
-                self.history.val_loss.append(self.evaluate(x_val, y_val))
+                self.history.train_loss.append(train_loss)
+                self.history.learning_rate.append(self.optimizer.lr)
+                self.history.epoch_seconds.append(elapsed)
+                obs.metric_gauge("train_loss", train_loss)
+                obs.metric_gauge("train_lr", self.optimizer.lr)
+                obs.metric_gauge("train_epoch_seconds", elapsed)
+                if x_val is not None and y_val is not None:
+                    with obs.span("train.validate", epoch=epoch):
+                        val_loss = self.evaluate(x_val, y_val)
+                    self.history.val_loss.append(val_loss)
+                    obs.metric_gauge("train_val_loss", val_loss)
 
-            if log_every and (epoch % log_every == 0 or epoch == self.config.epochs - 1):
-                val = f" val {self.history.val_loss[-1]:.4f}" if self.history.val_loss else ""
-                print(
-                    f"epoch {epoch:4d}  train {train_loss:.4f}{val}  "
-                    f"lr {self.optimizer.lr:.2e}  {elapsed:.2f}s"
-                )
-            if checkpoint_path is not None and checkpoint_every and (
-                (epoch + 1) % checkpoint_every == 0 or epoch == self.config.epochs - 1
-            ):
-                self.save_checkpoint(checkpoint_path)
+                if log_every and (epoch % log_every == 0 or epoch == self.config.epochs - 1):
+                    val = f" val {self.history.val_loss[-1]:.4f}" if self.history.val_loss else ""
+                    print(
+                        f"epoch {epoch:4d}  train {train_loss:.4f}{val}  "
+                        f"lr {self.optimizer.lr:.2e}  {elapsed:.2f}s"
+                    )
+                if checkpoint_path is not None and checkpoint_every and (
+                    (epoch + 1) % checkpoint_every == 0 or epoch == self.config.epochs - 1
+                ):
+                    with obs.span("train.checkpoint", epoch=epoch):
+                        self.save_checkpoint(checkpoint_path)
         return self.history

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..lbm import LBMSolver2D, UnitSystem
 from ..ns import (
     CompositeForcing,
@@ -147,7 +148,8 @@ def _generate_with_lbm(config: DataGenConfig, rng: np.random.Generator, sample_i
 
     t_c = units.convective_time
     warm_steps = units.steps_for_time(config.warmup * t_c)
-    solver.step(warm_steps)
+    with obs.span("datagen.warmup", steps=warm_steps):
+        solver.step(warm_steps)
 
     interval_steps = units.steps_for_time(config.sample_interval * t_c)
     if interval_steps < 1:
@@ -161,13 +163,14 @@ def _generate_with_lbm(config: DataGenConfig, rng: np.random.Generator, sample_i
     times = np.arange(n_snap) * (interval_steps * units.time_scale) / t_c
     vorticity = np.empty((n_snap, config.n, config.n))
     velocity = np.empty((n_snap, 2, config.n, config.n))
-    for i in range(n_snap):
-        if i > 0:
-            solver.step(interval_steps)
-        u_lat = solver.velocity
-        u = units.to_physical_velocity(u_lat)
-        velocity[i] = u
-        vorticity[i] = vorticity_from_velocity(u, config.length)
+    with obs.span("datagen.sampling", snapshots=n_snap):
+        for i in range(n_snap):
+            if i > 0:
+                solver.step(interval_steps)
+            u_lat = solver.velocity
+            u = units.to_physical_velocity(u_lat)
+            velocity[i] = u
+            vorticity[i] = vorticity_from_velocity(u, config.length)
     reynolds = rms_velocity(velocity[0]) * config.length / units.viscosity_physical
     return TrajectorySample(times, vorticity, velocity, reynolds, sample_id)
 
@@ -196,28 +199,39 @@ def _generate_with_ns(config: DataGenConfig, rng: np.random.Generator, sample_id
     solver.set_vorticity(_initial_vorticity(config, rng))
 
     t_c = config.convective_time
-    solver.advance(config.warmup * t_c)
+    with obs.span("datagen.warmup", duration_tc=config.warmup):
+        solver.advance(config.warmup * t_c)
     solver.time = 0.0
 
     n_snap = config.n_snapshots
     times = np.arange(n_snap) * config.sample_interval
     vorticity = np.empty((n_snap, config.n, config.n))
     velocity = np.empty((n_snap, 2, config.n, config.n))
-    for i in range(n_snap):
-        if i > 0:
-            solver.advance(config.sample_interval * t_c)
-        vorticity[i] = solver.vorticity
-        velocity[i] = solver.velocity
+    with obs.span("datagen.sampling", snapshots=n_snap):
+        for i in range(n_snap):
+            if i > 0:
+                solver.advance(config.sample_interval * t_c)
+            vorticity[i] = solver.vorticity
+            velocity[i] = solver.velocity
     reynolds = rms_velocity(velocity[0]) * config.length / viscosity
     return TrajectorySample(times, vorticity, velocity, reynolds, sample_id)
 
 
 def generate_sample(config: DataGenConfig, rng=None, sample_id: int = 0) -> TrajectorySample:
-    """Generate one trajectory according to ``config``."""
+    """Generate one trajectory according to ``config``.
+
+    Each sample is one ``datagen.sample`` span with ``datagen.warmup``
+    and ``datagen.sampling`` children (tracing is per process: with
+    ``n_workers > 1`` only samples generated in an obs-configured
+    process appear in its trace).
+    """
     rng = as_generator(rng)
-    if config.solver == "lbm":
-        return _generate_with_lbm(config, rng, sample_id)
-    return _generate_with_ns(config, rng, sample_id)
+    with obs.span(
+        "datagen.sample", sample_id=sample_id, solver=config.solver, grid=config.n
+    ):
+        if config.solver == "lbm":
+            return _generate_with_lbm(config, rng, sample_id)
+        return _generate_with_ns(config, rng, sample_id)
 
 
 def _worker(args: tuple[DataGenConfig, int, int]) -> TrajectorySample:

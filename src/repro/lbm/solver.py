@@ -9,8 +9,11 @@ the rest of the repo works in.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ..obs import hooks as _obs_hooks
 from .collision import bgk_collide, entropic_collide, mrt_collide
 from .equilibrium import entropic_equilibrium, polynomial_equilibrium
 from .lattice import CS2, Q, VELOCITIES
@@ -106,10 +109,17 @@ class LBMSolver2D:
 
     def step(self, n_steps: int = 1) -> None:
         """Advance ``n_steps`` collide–stream cycles."""
+        # Single flag read per call — profiling costs nothing when off.
+        profiling = _obs_hooks.PROFILING
+        start = time.perf_counter() if profiling else 0.0
         for _ in range(n_steps):
             self.collide()
             self.stream()
             self.steps_taken += 1
+        if profiling and n_steps:
+            _obs_hooks.record_solver_advance(
+                type(self).__name__, n_steps, time.perf_counter() - start
+            )
 
     # ------------------------------------------------------------------
     # diagnostics

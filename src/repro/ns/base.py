@@ -12,10 +12,12 @@ generator only touch this interface.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
 
+from ..obs import hooks as _obs_hooks
 from .fields import (
     divergence,
     enstrophy,
@@ -118,13 +120,23 @@ class NSSolverBase:
         """
         if duration < 0:
             raise ValueError("duration must be non-negative")
+        # One flag read per advance() call when profiling is off — the
+        # obs hook overhead lives entirely behind this branch.
+        profiling = _obs_hooks.PROFILING
+        start = time.perf_counter() if profiling else 0.0
+        n_steps = 0
         target = self.time + duration
         while self.time < target - 1e-12:
             dt = self.dt if self.dt is not None else self.stable_dt()
             dt = min(dt, target - self.time)
             self._step_with_dt(dt)
+            n_steps += 1
             if callback is not None:
                 callback(self)
+        if profiling and n_steps:
+            _obs_hooks.record_solver_advance(
+                type(self).__name__, n_steps, time.perf_counter() - start
+            )
 
     def _step_with_dt(self, dt: float) -> None:
         saved = self.dt

@@ -1,0 +1,143 @@
+"""Hot-path profiling hooks — zero cost unless explicitly enabled.
+
+Three hook points, chosen so the disabled state leaves the hot paths
+untouched:
+
+* **Tensor op dispatch** — ``Tensor.from_op`` (the funnel every autodiff
+  primitive's output passes through) is monkey-patched to count ops and
+  output elements, exactly like :func:`repro.checks.dtype_sanitizer`
+  patches it for dtype checks.  When profiling is off the original
+  method is in place, so the per-op cost is literally zero.
+* **FFT calls** — :mod:`repro.tensor.fft_ops` resolves ``_fft.rfftn`` /
+  ``_fft.irfftn`` at call time, so swapping the module's ``_fft``
+  attribute for a counting proxy intercepts every spectral transform.
+* **Solver steps** — :class:`repro.ns.NSSolverBase` and
+  :class:`repro.lbm.LBMSolver2D` check the module-level
+  :data:`PROFILING` flag once per ``advance()``/``step()`` call (not per
+  grid point) and report step counts + wall time here when it is set.
+
+Enabling is reference-counted so nested ``profile()`` contexts compose;
+counts land in the registry returned by :func:`repro.obs.metrics_registry`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = ["PROFILING", "profile", "enable_profiling", "disable_profiling",
+           "record_solver_advance"]
+
+# Read by the solver step loops; written only under _lock below.
+PROFILING = False
+
+_lock = threading.Lock()
+_depth = 0
+_original_from_op = None
+_original_fft = None
+
+
+def _registry():
+    from . import metrics_registry
+
+    return metrics_registry()
+
+
+class _CountingFFT:
+    """Proxy over ``scipy.fft`` counting calls per transform name."""
+
+    def __init__(self, wrapped):
+        self._wrapped = wrapped
+
+    def __getattr__(self, name):
+        fn = getattr(self._wrapped, name)
+        if not callable(fn):
+            return fn
+        counter = _registry().counter("fft_calls_total", labels={"fn": name})
+        timer = _registry().histogram("fft_seconds")
+
+        def counted(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                counter.inc()
+                timer.observe(time.perf_counter() - start)
+
+        # Cache on the instance so the closure is built once per name.
+        setattr(self, name, counted)
+        return counted
+
+
+def _install() -> None:
+    global _depth, _original_from_op, _original_fft, PROFILING
+    from ..tensor import Tensor
+    from ..tensor import fft_ops
+
+    with _lock:
+        _depth += 1
+        if _depth > 1:
+            return
+        registry = _registry()
+        op_counter = registry.counter("tensor_ops_total")
+        elem_counter = registry.counter("tensor_op_elements_total")
+        _original_from_op = Tensor.from_op
+
+        original = _original_from_op
+
+        def profiled_from_op(data, parents, backward):
+            op_counter.inc()
+            elem_counter.inc(data.size)
+            return original(data, parents, backward)
+
+        Tensor.from_op = staticmethod(profiled_from_op)
+        _original_fft = fft_ops._fft
+        fft_ops._fft = _CountingFFT(_original_fft)
+        PROFILING = True
+
+
+def _uninstall() -> None:
+    global _depth, _original_from_op, _original_fft, PROFILING
+    from ..tensor import Tensor
+    from ..tensor import fft_ops
+
+    with _lock:
+        _depth -= 1
+        if _depth > 0:
+            return
+        Tensor.from_op = staticmethod(_original_from_op)
+        fft_ops._fft = _original_fft
+        _original_from_op = None
+        _original_fft = None
+        PROFILING = False
+
+
+def enable_profiling() -> None:
+    """Install the hot-path hooks (refcounted; pair with disable)."""
+    _install()
+
+
+def disable_profiling() -> None:
+    _uninstall()
+
+
+@contextmanager
+def profile():
+    """Run a block with the hot-path hooks installed."""
+    _install()
+    try:
+        yield
+    finally:
+        _uninstall()
+
+
+def record_solver_advance(solver_name: str, n_steps: int, seconds: float) -> None:
+    """Called by solver loops after an ``advance()``/``step()`` burst.
+
+    Call sites guard on :data:`PROFILING`, so this only runs (and only
+    touches the registry) while a :func:`profile` context is active.
+    """
+    registry = _registry()
+    registry.counter("solver_steps_total", labels={"solver": solver_name}).inc(n_steps)
+    registry.histogram("solver_advance_seconds").observe(seconds)

@@ -12,7 +12,12 @@ JSON-over-HTTP service:
 * :class:`InferenceService` — the synchronous client API tying the
   pieces together (deterministic batch-invariant kernels by default).
 * :func:`make_server`/:func:`serve_forever` — the HTTP front end
-  (``/predict``, ``/models``, ``/healthz``, ``/stats``).
+  (``/predict``, ``/models``, ``/healthz``, ``/stats``, ``/metrics``).
+
+Telemetry lives in :class:`ServerStats`, which is a thin arrangement of
+:mod:`repro.obs` instruments: ``/stats`` renders the historical JSON
+payload, ``/metrics`` the Prometheus text exposition of the same
+numbers (plus the process-wide obs registry when profiling is on).
 
 Everything is stdlib + numpy; ``repro serve`` is the CLI entry point.
 """

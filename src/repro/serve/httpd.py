@@ -4,6 +4,7 @@ Endpoints::
 
     GET  /healthz          liveness probe
     GET  /stats            counters, batch histogram, latency percentiles
+    GET  /metrics          Prometheus text exposition (same instruments)
     GET  /models           registry listing (config/params per model)
     POST /models/evict     {"name": ...} → drop a model from the cache
     POST /predict          {"model", "window", "mode"?, "cycles"?, ...}
@@ -66,6 +67,14 @@ class _ServeHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, code: int, text: str) -> None:
+        body = text.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
         if length <= 0:
@@ -80,6 +89,8 @@ class _ServeHandler(BaseHTTPRequestHandler):
             self._send_json(200, {"status": "ok"})
         elif self.path == "/stats":
             self._send_json(200, self.service.stats_snapshot())
+        elif self.path == "/metrics":
+            self._send_text(200, self.service.metrics_text())
         elif self.path == "/models":
             self._send_json(200, {"models": self.service.registry.list_models()})
         else:

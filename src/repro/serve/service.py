@@ -19,6 +19,7 @@ import time
 
 import numpy as np
 
+from .. import obs
 from ..core.config import HybridConfig
 from ..core.hybrid import run_hybrid_batched, run_pure_fno_batched
 from ..tensor import batch_invariant_kernels
@@ -170,7 +171,9 @@ class InferenceService:
             self.queue.submit(request)
         except QueueFullError:
             self.stats.record_rejected()
+            self.stats.set_queue_depth(self.queue.depth())
             raise
+        self.stats.set_queue_depth(self.queue.depth())
         result = request.wait(timeout if timeout is not None else self.request_timeout)
         return result
 
@@ -187,8 +190,16 @@ class InferenceService:
         windows = np.stack([request.payload["window"] for request in batch])
         n = windows.shape[-1]
 
+        # Stage latency: how long each request sat in the queue before a
+        # worker picked up its batch.
+        for request in batch:
+            self.stats.record_queue_wait(started - request.enqueued_at)
+        self.stats.set_queue_depth(self.queue.depth())
+
         try:
-            with batch_invariant_kernels(self.deterministic):
+            with obs.span(
+                "serve.batch", size=len(batch), model=entry.name, mode=mode
+            ), batch_invariant_kernels(self.deterministic):
                 if mode == "fno":
                     records = run_pure_fno_batched(
                         entry.model,
@@ -242,6 +253,13 @@ class InferenceService:
         self.stats.record_batch(len(batch), now - started)
 
     # -- introspection -------------------------------------------------
+    def metrics_text(self) -> str:
+        """Prometheus exposition for ``/metrics``: the service's own
+        instruments followed by the process-wide obs registry (tensor-op,
+        FFT and solver profiling counters, when profiling is active)."""
+        self.stats.set_queue_depth(self.queue.depth())
+        return self.stats.render_prometheus() + obs.render_prometheus()
+
     def stats_snapshot(self) -> dict:
         return self.stats.snapshot(
             queue_depth=self.queue.depth(),

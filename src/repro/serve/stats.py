@@ -1,72 +1,122 @@
 """Serving telemetry: request counters, batch-size histogram, latency.
 
-Everything is lock-protected and cheap enough to update on every
-request; ``snapshot`` renders the ``/stats`` endpoint payload.
+All instruments live in a :class:`repro.obs.MetricsRegistry`, so the
+same numbers back both the JSON ``/stats`` endpoint (``snapshot``, whose
+payload shape predates the obs subsystem and is kept stable) and the
+Prometheus ``/metrics`` endpoint (``render_prometheus``).  The latency
+percentile code that used to be duplicated here is gone — the registry's
+:class:`~repro.obs.WindowedSummary` is the single implementation.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import Counter
-
-from ..utils.timing import LatencyStats
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["ServerStats"]
 
 
 class ServerStats:
-    """Aggregated counters for one :class:`~repro.serve.InferenceService`."""
+    """Aggregated counters for one :class:`~repro.serve.InferenceService`.
 
-    def __init__(self, latency_window: int = 2048):
-        self._lock = threading.Lock()
-        self.n_submitted = 0
-        self.n_completed = 0
-        self.n_errors = 0
-        self.n_rejected = 0
-        self.batch_histogram: Counter[int] = Counter()
-        self.request_latency = LatencyStats(window=latency_window)
-        self.batch_latency = LatencyStats(window=latency_window)
+    Parameters
+    ----------
+    latency_window:
+        Sliding-window size for the latency percentile summaries.
+    registry:
+        Optional shared :class:`MetricsRegistry`; by default each service
+        keeps its own so two services in one process don't mix numbers.
+    """
 
+    def __init__(self, latency_window: int = 2048, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._submitted = self.registry.counter("serve_requests_submitted_total")
+        self._completed = self.registry.counter("serve_requests_completed_total")
+        self._errors = self.registry.counter("serve_requests_error_total")
+        self._rejected = self.registry.counter("serve_requests_rejected_total")
+        self._batches = self.registry.counter("serve_batches_total")
+        self.request_latency = self.registry.summary(
+            "serve_request_latency_seconds", window=latency_window
+        )
+        self.batch_latency = self.registry.summary(
+            "serve_batch_exec_seconds", window=latency_window
+        )
+        self.queue_wait = self.registry.summary(
+            "serve_queue_wait_seconds", window=latency_window
+        )
+        self._queue_depth = self.registry.gauge("serve_queue_depth")
+        self._latency_window = latency_window
+
+    # -- recording -----------------------------------------------------
     def record_submitted(self) -> None:
-        with self._lock:
-            self.n_submitted += 1
+        self._submitted.inc()
 
     def record_rejected(self) -> None:
-        with self._lock:
-            self.n_rejected += 1
+        self._rejected.inc()
 
     def record_batch(self, size: int, seconds: float) -> None:
-        with self._lock:
-            self.batch_histogram[int(size)] += 1
+        self._batches.inc()
+        self.registry.counter("serve_batch_size_total", labels={"size": int(size)}).inc()
         self.batch_latency.observe(seconds)
 
     def record_completed(self, seconds: float, error: bool = False) -> None:
-        with self._lock:
-            if error:
-                self.n_errors += 1
-            else:
-                self.n_completed += 1
+        (self._errors if error else self._completed).inc()
         self.request_latency.observe(seconds)
 
+    def record_queue_wait(self, seconds: float) -> None:
+        self.queue_wait.observe(seconds)
+
+    def set_queue_depth(self, depth: int) -> None:
+        self._queue_depth.set(depth)
+
+    # -- introspection -------------------------------------------------
+    @property
+    def n_submitted(self) -> int:
+        return int(self._submitted.value)
+
+    @property
+    def n_completed(self) -> int:
+        return int(self._completed.value)
+
+    @property
+    def n_errors(self) -> int:
+        return int(self._errors.value)
+
+    @property
+    def n_rejected(self) -> int:
+        return int(self._rejected.value)
+
+    def _batch_sizes(self) -> dict[int, int]:
+        return {
+            int(dict(labels)["size"]): int(counter.value)
+            for labels, counter in self.registry.labelled("serve_batch_size_total").items()
+        }
+
     def max_batch_seen(self) -> int:
-        with self._lock:
-            return max(self.batch_histogram, default=0)
+        return max(self._batch_sizes(), default=0)
 
     def snapshot(self, queue_depth: int | None = None, extra: dict | None = None) -> dict:
-        with self._lock:
-            payload = {
-                "requests": {
-                    "submitted": self.n_submitted,
-                    "completed": self.n_completed,
-                    "errors": self.n_errors,
-                    "rejected": self.n_rejected,
-                },
-                "batch_histogram": {str(k): v for k, v in sorted(self.batch_histogram.items())},
-            }
+        """The ``/stats`` payload — shape unchanged from pre-obs versions."""
+        payload: dict = {
+            "requests": {
+                "submitted": self.n_submitted,
+                "completed": self.n_completed,
+                "errors": self.n_errors,
+                "rejected": self.n_rejected,
+            },
+            "batch_histogram": {
+                str(k): v for k, v in sorted(self._batch_sizes().items())
+            },
+        }
         payload["latency_s"] = self.request_latency.summary()
         payload["batch_exec_s"] = self.batch_latency.summary()
+        payload["queue_wait_s"] = self.queue_wait.summary()
         if queue_depth is not None:
+            self._queue_depth.set(queue_depth)
             payload["queue_depth"] = queue_depth
         if extra:
             payload.update(extra)
         return payload
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of every serve metric."""
+        return self.registry.render_prometheus()

@@ -1,121 +1,13 @@
-"""Wall-clock timing helpers used by the training loop, benchmarks and
-the serving stats endpoint."""
+"""Compatibility shim — the timing primitives moved to :mod:`repro.obs`.
+
+``Timer``, ``timed`` and ``LatencyStats`` (now
+:class:`repro.obs.metrics.WindowedSummary`) live in the observability
+subsystem so the whole timing/metrics surface has a single home.  This
+module keeps the historical import path working.
+"""
 
 from __future__ import annotations
 
-import threading
-import time
-from collections import deque
-from contextlib import contextmanager
+from ..obs.metrics import LatencyStats, Timer, timed
 
 __all__ = ["Timer", "timed", "LatencyStats"]
-
-
-class Timer:
-    """Accumulating stopwatch, safe for concurrent and nested use.
-
-    Each thread keeps its own stack of start times, so overlapping
-    ``with t:`` blocks from different threads (or nested blocks in one
-    thread) each contribute their own interval; the accumulated totals
-    are lock-protected.
-
-    >>> t = Timer()
-    >>> with t:
-    ...     pass
-    >>> t.elapsed >= 0
-    True
-    """
-
-    def __init__(self) -> None:
-        self.elapsed = 0.0
-        self.n_intervals = 0
-        self._lock = threading.Lock()
-        self._local = threading.local()
-
-    def __enter__(self) -> "Timer":
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        stack.append(time.perf_counter())
-        return self
-
-    def __exit__(self, *exc) -> None:
-        stack = getattr(self._local, "stack", None)
-        assert stack, "Timer.__exit__ without a matching __enter__ in this thread"
-        interval = time.perf_counter() - stack.pop()
-        with self._lock:
-            self.elapsed += interval
-            self.n_intervals += 1
-
-    @property
-    def mean(self) -> float:
-        return self.elapsed / self.n_intervals if self.n_intervals else 0.0
-
-
-@contextmanager
-def timed(label: str, sink=None):
-    """Context manager printing (or collecting) the elapsed time."""
-    start = time.perf_counter()
-    yield
-    elapsed = time.perf_counter() - start
-    message = f"{label}: {elapsed:.3f}s"
-    if sink is None:
-        print(message)
-    else:
-        sink(message)
-
-
-class LatencyStats:
-    """Thread-safe latency tracker with sliding-window percentiles.
-
-    Keeps lifetime ``count``/``total``/``max`` plus a bounded window of
-    the most recent observations from which percentiles are computed —
-    the serving ``/stats`` endpoint reports p50/p95 from here.
-    """
-
-    def __init__(self, window: int = 2048) -> None:
-        if window < 1:
-            raise ValueError("window must be >= 1")
-        self._lock = threading.Lock()
-        self._samples: deque[float] = deque(maxlen=int(window))
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        seconds = float(seconds)
-        with self._lock:
-            self._samples.append(seconds)
-            self.count += 1
-            self.total += seconds
-            if seconds > self.max:
-                self.max = seconds
-
-    @property
-    def mean(self) -> float:
-        with self._lock:
-            return self.total / self.count if self.count else 0.0
-
-    def percentile(self, q: float) -> float:
-        """Linear-interpolated percentile (``q`` in [0, 100]) over the window."""
-        if not 0.0 <= q <= 100.0:
-            raise ValueError("q must be in [0, 100]")
-        with self._lock:
-            samples = sorted(self._samples)
-        if not samples:
-            return 0.0
-        pos = (len(samples) - 1) * q / 100.0
-        lo = int(pos)
-        hi = min(lo + 1, len(samples) - 1)
-        frac = pos - lo
-        return samples[lo] * (1.0 - frac) + samples[hi] * frac
-
-    def summary(self) -> dict:
-        """``{count, mean, p50, p95, max}`` snapshot (seconds)."""
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "p50": self.percentile(50.0),
-            "p95": self.percentile(95.0),
-            "max": self.max,
-        }

@@ -64,6 +64,12 @@ FIXTURES = {
         "    except:\n"
         "        return 0.0\n",
     ),
+    "RPR006": (
+        "src/repro/core/fixture_obs.py",
+        "import time\n"
+        "def f(start):\n"
+        "    return time.time() - start\n",
+    ),
 }
 
 
@@ -80,6 +86,7 @@ def _write_fixture(tmp_path: Path, rule: str, suppress: bool = False) -> Path:
             "RPR003": "default_rng()",
             "RPR004": "acc=[]",
             "RPR005": "except:",
+            "RPR006": "time.time()",
         }[rule]
         lines = [
             line + f"  # repro: ignore[{rule}] -- seeded fixture" if anchor in line else line

@@ -278,6 +278,41 @@ class TestService:
         assert snap["queue_depth"] == 0
         assert snap["registry"]["cached"] == 1
 
+    def test_stats_json_stays_backward_compatible(self, checkpoint):
+        """Regression: the pre-obs /stats payload shape must not change.
+
+        ServerStats is now built on repro.obs metrics; clients written
+        against the original endpoint still rely on these exact keys,
+        their types, and integer request counters.
+        """
+        reg = ModelRegistry()
+        reg.register("tiny", checkpoint)
+        with InferenceService(reg, n_workers=1) as svc:
+            svc.predict("tiny", window(), mode="fno")
+            snap = svc.stats_snapshot()
+        legacy_keys = {
+            "requests", "batch_histogram", "latency_s", "batch_exec_s",
+            "queue_depth", "registry", "policy", "workers",
+            "deterministic", "default_mode",
+        }
+        assert legacy_keys <= set(snap)
+        assert set(snap["requests"]) == {"submitted", "completed", "errors", "rejected"}
+        assert all(isinstance(v, int) for v in snap["requests"].values())
+        assert all(isinstance(k, str) for k in snap["batch_histogram"])
+        for section in ("latency_s", "batch_exec_s"):
+            assert set(snap[section]) == {"count", "mean", "p50", "p95", "max"}
+        # And the whole payload is JSON-serialisable, as /stats requires.
+        json.dumps(snap)
+
+    def test_stats_expose_queue_wait_stage_latency(self, checkpoint):
+        reg = ModelRegistry()
+        reg.register("tiny", checkpoint)
+        with InferenceService(reg, n_workers=1) as svc:
+            svc.predict("tiny", window(), mode="fno")
+            snap = svc.stats_snapshot()
+        assert snap["queue_wait_s"]["count"] == 1
+        assert 0.0 <= snap["queue_wait_s"]["mean"] <= snap["latency_s"]["mean"]
+
 
 # ---------------------------------------------------------------------------
 
@@ -359,6 +394,19 @@ class TestHTTP:
         assert code == 200
         assert body["requests"]["completed"] >= 1
         assert "batch_histogram" in body and "latency_s" in body
+
+    def test_metrics_endpoint_renders_prometheus(self, http_service):
+        svc, base = http_service
+        svc.predict("tiny", window(), mode="fno")
+        with urllib.request.urlopen(f"{base}/metrics", timeout=10) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode()
+        assert "# TYPE repro_serve_requests_completed_total counter" in text
+        assert "repro_serve_requests_completed_total 1" in text
+        assert 'repro_serve_batch_size_total{size="1"} 1' in text
+        assert "repro_serve_queue_wait_seconds_count 1" in text
+        assert "repro_serve_queue_depth 0" in text
 
     def test_queue_full_returns_503_with_retry_after(self, checkpoint):
         reg = ModelRegistry()
