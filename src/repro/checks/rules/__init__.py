@@ -1,15 +1,16 @@
 """The shipped rule pack.  Importing this package registers every rule.
 
-| id     | name              | hazard                                           |
-|--------|-------------------|--------------------------------------------------|
-| RPR001 | dtype-promotion   | np.fft / float64 / complex128 on the f32 path    |
-| RPR002 | thread-safety     | lock-free shared-state writes in repro.serve     |
-| RPR003 | reproducibility   | unseeded RNGs, legacy global np.random state     |
-| RPR004 | api-contracts     | broken Module registration, mutable defaults     |
-| RPR005 | numerics-hygiene  | silent except/NaN handling, dropped dealias flag |
-| RPR006 | obs-hygiene       | wall-clock durations, spans entered without with |
+| id     | name               | hazard                                           |
+|--------|--------------------|--------------------------------------------------|
+| RPR001 | dtype-promotion    | np.fft / float64 / complex128 on the f32 path    |
+| RPR002 | thread-safety      | lock-free shared-state writes in repro.serve     |
+| RPR003 | reproducibility    | unseeded RNGs, legacy global np.random state     |
+| RPR004 | api-contracts      | broken Module registration, mutable defaults     |
+| RPR005 | numerics-hygiene   | silent except/NaN handling, dropped dealias flag |
+| RPR006 | obs-hygiene        | wall-clock durations, spans entered without with |
+| RPR007 | resilience-hygiene | unbounded while-True retries, swallow-and-continue |
 """
 
-from . import api, dtype, numerics, obs, rng, threads  # noqa: F401
+from . import api, dtype, faults, numerics, obs, rng, threads  # noqa: F401
 
-__all__ = ["api", "dtype", "numerics", "obs", "rng", "threads"]
+__all__ = ["api", "dtype", "faults", "numerics", "obs", "rng", "threads"]

@@ -11,11 +11,13 @@ and observability::
     python -m repro.cli serve    --model tiny=model.npz --port 8764
     python -m repro.cli trace    run.trace.jsonl
     python -m repro.cli profile  benchmarks/bench_fig2_separation.py
+    python -m repro.cli chaos    --seed-matrix 3
 
 Every option has a CPU-friendly default; the paper-scale settings are
 plain flag values away (``--grid 256 --reynolds 7500 --samples 5000``).
 Setting ``REPRO_OBS=trace.jsonl`` (and optionally ``REPRO_OBS_PROFILE=1``)
-turns on span tracing for any subcommand.
+turns on span tracing for any subcommand; ``REPRO_FAULTS`` (inline JSON
+or a path to a fault-plan file) arms deterministic fault injection.
 """
 
 from __future__ import annotations
@@ -110,6 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.checks.cli import add_check_arguments
 
     add_check_arguments(c)
+
+    ch = sub.add_parser("chaos", help="run the fault-injection chaos scenario matrix")
+    from repro.faults.cli import add_chaos_arguments
+
+    add_chaos_arguments(ch)
 
     from repro.obs.cli import add_profile_arguments, add_trace_arguments
 
@@ -324,6 +331,12 @@ def _cmd_check(args) -> int:
     return run_check(args)
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults.cli import run_chaos
+
+    return run_chaos(args)
+
+
 def _cmd_trace(args) -> int:
     from repro.obs.cli import run_trace
 
@@ -344,15 +357,17 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "serve": _cmd_serve,
     "check": _cmd_check,
+    "chaos": _cmd_chaos,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    from repro import obs
+    from repro import faults, obs
 
     obs.configure_from_env()
+    faults.configure_from_env()
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

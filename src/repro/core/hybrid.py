@@ -28,6 +28,8 @@ from ..analysis.statistics import (
     global_enstrophy_evolution,
     kinetic_energy_evolution,
 )
+from ..faults import injection as _faults
+from ..faults.policy import DivergenceGuard
 from ..nn import Module
 from ..ns.base import NSSolverBase
 from ..ns.fields import divergence, enstrophy, kinetic_energy, vorticity_from_velocity
@@ -49,8 +51,10 @@ class RolloutRecord:
     """A roll-out trajectory with per-snapshot provenance.
 
     ``times`` are in convective units; ``source[i]`` is ``"init"``,
-    ``"fno"`` or ``"pde"`` depending on which component produced
-    snapshot ``i``.
+    ``"fno"``, ``"pde"`` or ``"pde-fallback"`` depending on which
+    component produced snapshot ``i`` (``"pde-fallback"`` marks a
+    window where the divergence guard rejected the FNO prediction and
+    the PDE solver filled in — see :class:`repro.faults.DivergenceGuard`).
     """
 
     times: np.ndarray
@@ -132,6 +136,11 @@ class HybridFNOPDE:
     convective_time:
         Physical duration of one ``t_c`` (solver time units per
         convective time; equals the domain length when U0 = 1).
+    guard:
+        :class:`repro.faults.DivergenceGuard` applied to every FNO
+        prediction; a rejected window is replaced by PDE integration
+        (``"pde-fallback"`` provenance) instead of propagating NaNs.
+        Pass ``None`` to disable.
     """
 
     def __init__(
@@ -141,6 +150,7 @@ class HybridFNOPDE:
         config: HybridConfig,
         normalizer=None,
         convective_time: float | None = None,
+        guard: DivergenceGuard | None = DivergenceGuard(),
     ):
         expected_in = config.n_in * config.n_fields
         expected_out = config.n_out * config.n_fields
@@ -156,6 +166,7 @@ class HybridFNOPDE:
         self.convective_time = (
             convective_time if convective_time is not None else solver.length
         )
+        self.guard = guard
 
     # ------------------------------------------------------------------
     def _fno_step(self, window: np.ndarray) -> np.ndarray:
@@ -190,6 +201,7 @@ class HybridFNOPDE:
             normalizer=self.normalizer,
             convective_time=self.convective_time,
             t0=t0,
+            guard=self.guard,
         )[0]
 
 
@@ -201,12 +213,20 @@ def run_hybrid_batched(
     normalizer=None,
     convective_time: float | None = None,
     t0: float = 0.0,
+    guard: DivergenceGuard | None = DivergenceGuard(),
 ) -> list[RolloutRecord]:
     """Run ``B`` hybrid roll-outs with their FNO steps batched together.
 
     The FNO half of every cycle is a single batched forward pass over all
     ``B`` requests (the serving micro-batcher's hot path); the PDE half
     runs per-request because each trajectory owns solver state.
+
+    ``guard`` (on by default) checks each request's FNO prediction for
+    NaNs/energy blow-up against its own input window; a rejected window
+    is regenerated by that request's PDE solver (provenance
+    ``"pde-fallback"``) so one diverging trajectory degrades gracefully
+    instead of poisoning its record — the fallback the paper's hybrid
+    scheme exists to make possible.
 
     Parameters
     ----------
@@ -246,7 +266,10 @@ def run_hybrid_batched(
     snaps: list[list[np.ndarray]] = [
         [windows[b, i] for i in range(cfg.n_in)] for b in range(B)
     ]
-    source = ["init"] * cfg.n_in
+    # Provenance is per-request: the divergence guard can replace one
+    # request's FNO window with a PDE fallback while the rest of the
+    # batch keeps its FNO prediction.
+    sources: list[list[str]] = [["init"] * cfg.n_in for _ in range(B)]
     with obs.span("hybrid.run", batch=B, cycles=cfg.n_cycles, grid=n1):
         for cycle in range(cfg.n_cycles):
             with obs.span("hybrid.cycle", cycle=cycle):
@@ -254,9 +277,23 @@ def run_hybrid_batched(
                     stacked = np.stack([np.stack(s[-cfg.n_in :]) for s in snaps])
                     x = stacked.reshape(B, expected_in, n1, n2)
                     pred = apply_channels(model, x, normalizer)
+                    if _faults.ACTIVE:
+                        pred = _faults.fire_value("rollout.step", pred, cycle=cycle)
                     for b in range(B):
-                        snaps[b].extend(pred[b].reshape(cfg.n_out, cfg.n_fields, n1, n2))
-                    source.extend(["fno"] * cfg.n_out)
+                        block = pred[b].reshape(cfg.n_out, cfg.n_fields, n1, n2)
+                        reason = (
+                            guard.diagnose(block, float(np.mean(np.square(stacked[b]))))
+                            if guard is not None
+                            else None
+                        )
+                        if reason is None:
+                            snaps[b].extend(block)
+                            sources[b].extend(["fno"] * cfg.n_out)
+                        else:
+                            _pde_fallback(solvers[b], snaps[b], cfg.n_out, dt_phys)
+                            sources[b].extend(["pde-fallback"] * cfg.n_out)
+                            obs.event("hybrid.fallback", cycle=cycle, request=b,
+                                      reason=reason)
                 if obs.enabled():
                     _emit_rollout_diagnostics(
                         snaps[0][-1], solvers[0].length,
@@ -269,7 +306,7 @@ def run_hybrid_batched(
                         for _ in range(cfg.n_in):
                             solver.advance(dt_phys)
                             snaps[b].append(solver.velocity)
-                    source.extend(["pde"] * cfg.n_in)
+                        sources[b].extend(["pde"] * cfg.n_in)
                 if obs.enabled():
                     _emit_rollout_diagnostics(
                         snaps[0][-1], solvers[0].length,
@@ -281,11 +318,22 @@ def run_hybrid_batched(
         RolloutRecord(
             times=times.copy(),
             velocity=np.stack(snaps[b]),
-            source=list(source),
+            source=list(sources[b]),
             length=solvers[b].length,
         )
         for b in range(B)
     ]
+
+
+def _pde_fallback(solver: NSSolverBase, snaps: list, n_snapshots: int,
+                  dt_phys: float) -> None:
+    """Regenerate a rejected FNO window by PDE integration from the last
+    good snapshot, counting the event in the obs metrics registry."""
+    solver.set_velocity(snaps[-1])
+    for _ in range(n_snapshots):
+        solver.advance(dt_phys)
+        snaps.append(solver.velocity)
+    obs.metrics_registry().counter("rollout_fallbacks_total").inc()
 
 
 def run_pure_fno(
@@ -297,8 +345,13 @@ def run_pure_fno(
     sample_interval: float = 0.005,
     t0: float = 0.0,
     length: float = 2.0 * np.pi,
+    guard: DivergenceGuard | None = None,
 ) -> RolloutRecord:
-    """Iterative pure-FNO roll-out in the shared record format."""
+    """Iterative pure-FNO roll-out in the shared record format.
+
+    Unlike the hybrid driver there is no PDE to fall back on, so a
+    ``guard`` failure raises :class:`repro.faults.RolloutDiverged`.
+    """
     return run_pure_fno_batched(
         model,
         np.asarray(initial_window)[None],
@@ -308,6 +361,7 @@ def run_pure_fno(
         sample_interval=sample_interval,
         t0=t0,
         length=length,
+        guard=guard,
     )[0]
 
 
@@ -320,6 +374,7 @@ def run_pure_fno_batched(
     sample_interval: float = 0.005,
     t0: float = 0.0,
     length: float = 2.0 * np.pi,
+    guard: DivergenceGuard | None = None,
 ) -> list[RolloutRecord]:
     """Pure-FNO roll-outs for a whole batch of initial windows at once.
 
@@ -336,7 +391,8 @@ def run_pure_fno_batched(
         raise ValueError(f"windows have {nf} field components, expected {n_fields}")
     window_ch = windows.reshape(B, n_in * n_fields, n1, n2)
     with obs.span("rollout.pure_fno", batch=B, snapshots=n_snapshots, grid=n1):
-        preds = rollout_channels(model, window_ch, n_snapshots, n_fields, normalizer)
+        preds = rollout_channels(model, window_ch, n_snapshots, n_fields, normalizer,
+                                 guard=guard)
     pred_snaps = preds.reshape(B, preds.shape[1] // n_fields, n_fields, n1, n2)
     times = t0 + np.arange(n_in + pred_snaps.shape[1]) * sample_interval
     if obs.enabled() and n_fields == 2:

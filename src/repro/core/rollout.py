@@ -12,6 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from .. import obs
+from ..faults import injection as _faults
+from ..faults.policy import DivergenceGuard, RolloutDiverged
 from ..nn import Module
 from ..tensor import Tensor, no_grad
 
@@ -42,6 +44,7 @@ def rollout_channels(
     n_snapshots: int,
     n_fields: int = 2,
     normalizer=None,
+    guard: DivergenceGuard | None = None,
 ) -> np.ndarray:
     """Roll the temporal-channel FNO forward.
 
@@ -62,6 +65,12 @@ def rollout_channels(
         Optional :class:`repro.data.UnitGaussianNormalizer` fitted on
         model inputs; predictions are decoded back to physical units
         before being re-encoded as the next input window.
+    guard:
+        Optional :class:`repro.faults.DivergenceGuard`; when set, every
+        prediction is checked for NaNs and energy blow-up (against the
+        initial window's mean-square) and a failure raises a typed
+        :class:`repro.faults.RolloutDiverged` instead of silently
+        feeding garbage back into the model.
 
     Returns
     -------
@@ -78,11 +87,20 @@ def rollout_channels(
     n_out = n_out_ch // n_fields
 
     history = window.copy()
+    baseline_ms = float(np.mean(np.square(window))) if guard is not None else None
     produced: list[np.ndarray] = []
     total = 0
+    step = 0
     while total < n_snapshots:
         with obs.span("rollout.window", produced=total, batch=window.shape[0]):
             pred = apply_channels(model, history[:, -n_in_ch:], normalizer)
+        step += 1
+        if _faults.ACTIVE:
+            pred = _faults.fire_value("rollout.step", pred, step=step)
+        if guard is not None:
+            reason = guard.diagnose(pred, baseline_ms)
+            if reason is not None:
+                raise RolloutDiverged(step, reason)
         produced.append(pred)
         history = np.concatenate([history, pred], axis=1)
         total += n_out
@@ -95,21 +113,30 @@ def rollout_spacetime(
     block: np.ndarray,
     n_windows: int,
     normalizer=None,
+    guard: DivergenceGuard | None = None,
 ) -> np.ndarray:
     """Roll the 3-D FNO forward by whole space–time windows.
 
     ``block`` has shape ``(B, C, n, n, n_in)``; each application produces
     the next ``n_out`` snapshots along the last axis.  Returns
-    ``(B, C, n, n, n_windows·n_out)``.
+    ``(B, C, n, n, n_windows·n_out)``.  ``guard`` behaves as in
+    :func:`rollout_channels`.
     """
     if block.ndim != 5:
         raise ValueError("block must be (B, C, n, n, T)")
     history = block.copy()
+    baseline_ms = float(np.mean(np.square(block))) if guard is not None else None
     outputs: list[np.ndarray] = []
     n_in = block.shape[-1]
     for i in range(n_windows):
         with obs.span("rollout.window", produced=i, batch=block.shape[0]):
             pred = apply_channels(model, history[..., -n_in:], normalizer)
+        if _faults.ACTIVE:
+            pred = _faults.fire_value("rollout.step", pred, step=i + 1)
+        if guard is not None:
+            reason = guard.diagnose(pred, baseline_ms)
+            if reason is not None:
+                raise RolloutDiverged(i + 1, reason)
         outputs.append(pred)
         history = np.concatenate([history, pred], axis=-1)
     return np.concatenate(outputs, axis=-1)

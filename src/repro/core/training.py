@@ -17,9 +17,11 @@ import numpy as np
 
 from .. import obs
 from ..data.loader import DataLoader
+from ..faults.policy import RetryPolicy, call_with_retry
 from ..nn import DivergenceLoss, H1Loss, LpLoss, Module, MSELoss
 from ..optim import Adam, StepLR
 from ..tensor import Tensor, no_grad
+from ..utils.artifacts import CheckpointError, atomic_write_npz, guarded_npz_load
 from .config import TrainingConfig
 
 __all__ = ["TrainingHistory", "Trainer", "make_loss"]
@@ -131,11 +133,16 @@ class Trainer:
     def epochs_completed(self) -> int:
         return len(self.history.train_loss)
 
-    def save_checkpoint(self, path) -> None:
+    def save_checkpoint(self, path, retry: RetryPolicy | None = None) -> None:
         """Write model weights, optimiser moments, scheduler position and
-        the training history to ``path`` (npz)."""
+        the training history to ``path`` (npz).
+
+        The write is atomic (temp file + ``os.replace``), so a crash
+        mid-save leaves the previous checkpoint intact.  ``retry``
+        optionally retries transient I/O errors (``OSError``) with
+        seeded backoff.
+        """
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
         arrays: dict[str, np.ndarray] = {}
         for name, value in self.model.state_dict().items():
             arrays[f"model::{name}"] = value
@@ -151,12 +158,27 @@ class Trainer:
             "history": self.history.as_dict(),
         }
         arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
-        np.savez_compressed(path, **arrays)
+        if retry is not None:
+            call_with_retry(
+                atomic_write_npz, path, arrays, site="checkpoint.write",
+                policy=retry, label="checkpoint.write",
+            )
+        else:
+            atomic_write_npz(path, arrays, site="checkpoint.write")
 
     def load_checkpoint(self, path) -> None:
-        """Restore a state written by :meth:`save_checkpoint`."""
+        """Restore a state written by :meth:`save_checkpoint`.
+
+        Raises :class:`repro.utils.CheckpointError` (naming the path)
+        when the file is missing, truncated, or not a checkpoint.
+        """
         path = Path(path)
-        with np.load(path) as data:
+        with guarded_npz_load(path) as data:
+            if "header" not in data.files:
+                raise CheckpointError(
+                    f"{path}: not a trainer checkpoint (npz without a "
+                    f"'header' entry; keys: {sorted(data.files)[:8]})"
+                )
             header = json.loads(bytes(data["header"]).decode())
             model_state = {
                 key[len("model::") :]: data[key]
@@ -191,6 +213,7 @@ class Trainer:
         rng=None,
         checkpoint_path=None,
         checkpoint_every: int = 0,
+        checkpoint_retry: RetryPolicy | None = None,
     ) -> TrainingHistory:
         """Train until ``config.epochs`` epochs are completed in total.
 
@@ -243,5 +266,5 @@ class Trainer:
                     (epoch + 1) % checkpoint_every == 0 or epoch == self.config.epochs - 1
                 ):
                     with obs.span("train.checkpoint", epoch=epoch):
-                        self.save_checkpoint(checkpoint_path)
+                        self.save_checkpoint(checkpoint_path, retry=checkpoint_retry)
         return self.history

@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import json
 import os
-import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from ..data.normalization import FieldNormalizer
 from ..nn import Module
+from ..utils.artifacts import CheckpointError, atomic_write_npz, guarded_npz_load
 from .config import ChannelFNOConfig, SpaceTimeFNOConfig, Spatial3DChannelsConfig
 from .models import build_model
 
@@ -40,13 +40,9 @@ _CONFIG_KINDS = {
 }
 
 
-class CheckpointError(ValueError):
-    """A file is not a readable model checkpoint (wrong format/version/kind).
-
-    Subclasses :class:`ValueError` for compatibility with callers that
-    caught the pre-existing bare ``ValueError``s; the message always
-    names the offending path.
-    """
+# CheckpointError now lives in repro.utils.artifacts (the data shard
+# loaders raise it too); re-exported here so existing
+# ``from repro.core import CheckpointError`` imports keep working.
 
 
 def save_model(path, model: Module, config, normalizer: FieldNormalizer | None = None) -> None:
@@ -66,7 +62,7 @@ def save_model(path, model: Module, config, normalizer: FieldNormalizer | None =
         arrays["norm::mean"] = state["mean"]
         arrays["norm::std"] = state["std"]
     arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
-    np.savez_compressed(path, **arrays)
+    atomic_write_npz(path, arrays, site="checkpoint.write")
 
 
 def checkpoint_fingerprint(path) -> tuple[int, int]:
@@ -119,13 +115,7 @@ def load_model(path, dtype=np.float64):
     missing, not a checkpoint, or from an unknown version/kind.
     """
     path = Path(path)
-    try:
-        data = np.load(path)
-    except FileNotFoundError:
-        raise CheckpointError(f"{path}: checkpoint file does not exist") from None
-    except (zipfile.BadZipFile, ValueError, OSError) as exc:
-        raise CheckpointError(f"{path}: not a readable npz checkpoint ({exc})") from exc
-    with data:
+    with guarded_npz_load(path) as data:
         header = _read_header(data, path)
         config = _build_config(header, path)
         model = build_model(config, rng=np.random.default_rng(0), dtype=dtype)
@@ -158,13 +148,7 @@ def inspect_checkpoint(path) -> dict:
     endpoint.  Raises :class:`CheckpointError` on anything unreadable.
     """
     path = Path(path)
-    try:
-        data = np.load(path)
-    except FileNotFoundError:
-        raise CheckpointError(f"{path}: checkpoint file does not exist") from None
-    except (zipfile.BadZipFile, ValueError, OSError) as exc:
-        raise CheckpointError(f"{path}: not a readable npz checkpoint ({exc})") from exc
-    with data:
+    with guarded_npz_load(path) as data:
         header = _read_header(data, path)
         kind = header.get("config", {}).get("kind")
         _build_config(header, path)  # validate, result unused

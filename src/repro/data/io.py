@@ -11,6 +11,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..utils.artifacts import CheckpointError, atomic_write_npz, guarded_npz_load
 from .generation import TrajectorySample
 
 __all__ = ["save_samples", "load_samples"]
@@ -22,10 +23,11 @@ def save_samples(path, samples: list[TrajectorySample], metadata: dict | None = 
     """Write trajectories to ``path`` (npz, float32 fields).
 
     Casting to float32 halves the footprint; the dynamics carry far more
-    uncertainty than the cast drops.
+    uncertainty than the cast drops.  The write is atomic (temp file +
+    ``os.replace``), so a crashed generation run never leaves a
+    truncated shard where a resume expects data.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     if not samples:
         raise ValueError("refusing to save an empty sample list")
     arrays: dict[str, np.ndarray] = {}
@@ -41,16 +43,29 @@ def save_samples(path, samples: list[TrajectorySample], metadata: dict | None = 
         "metadata": metadata or {},
     }
     arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
-    np.savez_compressed(path, **arrays)
+    atomic_write_npz(path, arrays, site="data.write_shard")
 
 
 def load_samples(path) -> tuple[list[TrajectorySample], dict]:
-    """Load a shard; returns ``(samples, metadata)``."""
+    """Load a shard; returns ``(samples, metadata)``.
+
+    Raises :class:`repro.utils.CheckpointError` (naming the path) when
+    the file is missing, truncated, or not a shard — never a raw
+    ``zipfile``/``zlib`` traceback.
+    """
     path = Path(path)
-    with np.load(path) as data:
+    with guarded_npz_load(path, kind="shard") as data:
+        if "header" not in data.files:
+            raise CheckpointError(
+                f"{path}: not a trajectory shard (npz without a 'header' "
+                f"entry; keys: {sorted(data.files)[:8]})"
+            )
         header = json.loads(bytes(data["header"]).decode())
         if header.get("version") != _FORMAT_VERSION:
-            raise ValueError(f"unsupported shard version {header.get('version')!r}")
+            raise CheckpointError(
+                f"{path}: unsupported shard version {header.get('version')!r} "
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
         samples = []
         for i in range(header["n_samples"]):
             samples.append(

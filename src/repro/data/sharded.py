@@ -20,6 +20,8 @@ from typing import Iterator
 
 import numpy as np
 
+from ..faults import injection as _faults
+from ..faults.policy import RetryPolicy, call_with_retry
 from ..tensor import Tensor
 from ..utils.rng import as_generator
 from .dataset import make_channel_pairs, stack_fields
@@ -91,6 +93,11 @@ class ShardedWindowDataset:
         never materialises more than one shard).
     rng:
         Seed or generator for the shuffling.
+    retry:
+        Optional :class:`repro.faults.RetryPolicy` applied to each shard
+        read — transient ``OSError``-family failures (flaky network
+        filesystems, the usual paper-scale storage) are retried with
+        seeded backoff instead of killing a multi-hour epoch.
     """
 
     def __init__(
@@ -103,6 +110,7 @@ class ShardedWindowDataset:
         batch_size: int = 8,
         shuffle: bool = True,
         rng=None,
+        retry: RetryPolicy | None = None,
     ):
         self.shard_paths = [Path(p) for p in shard_paths]
         if not self.shard_paths:
@@ -117,10 +125,21 @@ class ShardedWindowDataset:
         self.batch_size = int(batch_size)
         self.shuffle = bool(shuffle)
         self._rng = as_generator(rng)
+        self.retry = retry
 
     # ------------------------------------------------------------------
+    def _load_shard(self, path: Path):
+        if _faults.ACTIVE:
+            _faults.fire("data.load_shard", path=str(path))
+        return load_samples(path)
+
     def _shard_windows(self, path: Path) -> tuple[np.ndarray, np.ndarray]:
-        samples, _ = load_samples(path)
+        if self.retry is not None:
+            samples, _ = call_with_retry(
+                self._load_shard, path, policy=self.retry, label="data.load_shard"
+            )
+        else:
+            samples, _ = self._load_shard(path)
         data = stack_fields(samples, self.fields)
         return make_channel_pairs(data, n_in=self.n_in, n_out=self.n_out, stride=self.stride)
 

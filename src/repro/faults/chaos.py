@@ -1,0 +1,391 @@
+"""Chaos harness: seeded fault plans × subsystem probes → JSON verdict.
+
+Each *scenario* is a self-contained probe of one subsystem's failure
+behaviour: it builds its own tiny models/datasets in a scratch
+directory, installs seeded :class:`~repro.faults.injection.FaultPlan`\\ s,
+and returns a list of named pass/fail checks.  :func:`run_matrix` runs
+every scenario across a seed matrix and folds the results into a
+verdict dict that is a pure function of the seeds — no timestamps, no
+absolute paths, no global counter state — so CI can assert
+``repro chaos --seed-matrix 3`` twice and diff the JSON.
+
+This module deliberately lives outside the :mod:`repro.faults`
+package namespace: it imports the subsystems under test (core, data,
+serve), which the injection/policy layers must never do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..core import ChannelFNOConfig, HybridConfig, Trainer, TrainingConfig
+from ..core.hybrid import run_hybrid_batched, run_pure_fno_batched
+from ..core.models import build_model
+from ..data.generation import TrajectorySample
+from ..data.io import save_samples
+from ..data.sharded import ShardedWindowDataset
+from ..utils.artifacts import CheckpointError
+from . import injection
+from .injection import FaultPlan, FaultSpec, InjectedFault
+from .policy import CircuitBreaker, CircuitOpenError, RetryPolicy
+
+__all__ = ["SCENARIOS", "run_scenario", "run_matrix"]
+
+GRID = 12
+
+MODEL = ChannelFNOConfig(
+    n_in=2, n_out=1, n_fields=2, modes1=3, modes2=3, width=8, n_layers=2,
+    projection_channels=16,
+)
+
+
+def _check(name: str, ok: bool, detail: str = "") -> dict:
+    return {"name": name, "ok": bool(ok), "detail": detail}
+
+
+def _build_model(seed: int):
+    return build_model(MODEL, rng=np.random.default_rng(seed))
+
+
+def _synthetic_pairs(seed: int, n: int = 8):
+    """Seeded random (X, Y) channel pairs shaped for the tiny MODEL."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, MODEL.n_in * MODEL.n_fields, GRID, GRID))
+    y = rng.standard_normal((n, MODEL.n_out * MODEL.n_fields, GRID, GRID))
+    return x, y
+
+
+def _sha256(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def _trainer(seed: int, epochs: int) -> Trainer:
+    return Trainer(
+        _build_model(seed),
+        TrainingConfig(epochs=epochs, batch_size=4, learning_rate=1e-3, seed=seed),
+    )
+
+
+# ---------------------------------------------------------------------------
+# scenarios — fn(seed, workdir) -> list of check dicts
+# ---------------------------------------------------------------------------
+
+
+def checkpoint_atomicity(seed: int, workdir: Path) -> list[dict]:
+    """Crashes and torn writes at ``checkpoint.write`` never corrupt the
+    published checkpoint; transient I/O errors are absorbed by retry."""
+    checks = []
+    trainer = _trainer(seed, epochs=1)
+    x, y = _synthetic_pairs(seed)
+    trainer.fit(x, y)
+    path = workdir / "ckpt.npz"
+    trainer.save_checkpoint(path)
+    good_digest = _sha256(path)
+
+    # A crash (error fault fires before any bytes move) leaves the
+    # previous checkpoint byte-identical and loadable.
+    crashed = False
+    with injection.active(FaultPlan([FaultSpec("checkpoint.write", "error")], seed)):
+        try:
+            trainer.save_checkpoint(path)
+        except InjectedFault:
+            crashed = True
+    checks.append(_check("crash-raises-typed-fault", crashed))
+    checks.append(_check("crash-leaves-bytes-intact", _sha256(path) == good_digest))
+    probe = _trainer(seed, epochs=1)
+    probe.load_checkpoint(path)
+    checks.append(_check("survivor-still-loads", probe.epochs_completed == 1))
+
+    # A torn write publishes a truncated file; the loader must answer
+    # with CheckpointError, not a zipfile traceback.
+    torn = workdir / "torn.npz"
+    with injection.active(
+        FaultPlan([FaultSpec("checkpoint.write", "partial_write")], seed)
+    ):
+        trainer.save_checkpoint(torn)
+    try:
+        _trainer(seed, epochs=1).load_checkpoint(torn)
+        checks.append(_check("torn-write-fails-typed", False,
+                             "truncated checkpoint loaded without error"))
+    except CheckpointError:
+        checks.append(_check("torn-write-fails-typed", True))
+
+    # One transient I/O error + a retry policy → the save goes through.
+    with injection.active(
+        FaultPlan([FaultSpec("checkpoint.write", "io_error", times=1)], seed)
+    ):
+        trainer.save_checkpoint(
+            path,
+            retry=RetryPolicy(attempts=3, backoff=0.0, retry_on=(OSError,), seed=seed),
+        )
+    probe = _trainer(seed, epochs=1)
+    probe.load_checkpoint(path)
+    checks.append(_check("transient-io-error-retried", probe.epochs_completed == 1))
+    return checks
+
+
+def crash_resume(seed: int, workdir: Path) -> list[dict]:
+    """A run killed mid-checkpoint resumes from the last good checkpoint
+    to a bitwise-identical final state."""
+    checks = []
+    x, y = _synthetic_pairs(seed)
+    path = workdir / "resume.npz"
+
+    straight = _trainer(seed, epochs=4)
+    straight.fit(x, y)
+
+    # Same run, but the epoch-3 checkpoint write crashes the process.
+    crashed = _trainer(seed, epochs=4)
+    interrupted = False
+    with injection.active(
+        FaultPlan([FaultSpec("checkpoint.write", "error", at=3)], seed)
+    ):
+        try:
+            crashed.fit(x, y, checkpoint_path=path, checkpoint_every=1)
+        except InjectedFault:
+            interrupted = True
+    checks.append(_check("crash-interrupts-training", interrupted))
+
+    resumed = _trainer(seed, epochs=4)
+    resumed.load_checkpoint(path)
+    checks.append(_check("checkpoint-is-last-good-epoch",
+                         resumed.epochs_completed == 2,
+                         f"resumed at epoch {resumed.epochs_completed}"))
+    resumed.fit(x, y)
+
+    a, b = straight.model.state_dict(), resumed.model.state_dict()
+    checks.append(_check("weights-bitwise-equal",
+                         set(a) == set(b)
+                         and all(np.array_equal(a[k], b[k]) for k in a)))
+    oa, ob = straight.optimizer.state_dict(), resumed.optimizer.state_dict()
+    checks.append(_check("optimizer-moments-bitwise-equal",
+                         oa["t"] == ob["t"]
+                         and all(np.array_equal(p, q) for p, q in zip(oa["m"], ob["m"]))
+                         and all(np.array_equal(p, q) for p, q in zip(oa["v"], ob["v"]))))
+    checks.append(_check("history-identical",
+                         straight.history.train_loss == resumed.history.train_loss))
+    return checks
+
+
+def _synthetic_shards(seed: int, workdir: Path, n_shards: int = 2) -> list[Path]:
+    rng = np.random.default_rng(seed)
+    paths = []
+    for shard in range(n_shards):
+        samples = [
+            TrajectorySample(
+                times=np.arange(4) * 0.02,
+                vorticity=rng.standard_normal((4, GRID, GRID)),
+                velocity=rng.standard_normal((4, 2, GRID, GRID)),
+                reynolds=400.0,
+                sample_id=shard * 2 + i,
+            )
+            for i in range(2)
+        ]
+        path = workdir / f"shard_{shard:05d}.npz"
+        save_samples(path, samples)
+        paths.append(path)
+    return paths
+
+
+def shard_resilience(seed: int, workdir: Path) -> list[dict]:
+    """Transient shard-read faults are retried to an identical epoch;
+    persistent faults surface as typed errors."""
+    checks = []
+    paths = _synthetic_shards(seed, workdir)
+
+    def batches(**kwargs):
+        ds = ShardedWindowDataset(
+            paths, n_in=MODEL.n_in, n_out=MODEL.n_out, batch_size=4,
+            shuffle=False, **kwargs,
+        )
+        return [(xb.numpy(), yb.numpy()) for xb, yb in ds]
+
+    clean = batches()
+    with injection.active(
+        FaultPlan([FaultSpec("data.load_shard", "io_error", times=1)], seed)
+    ):
+        retried = batches(
+            retry=RetryPolicy(attempts=3, backoff=0.0, retry_on=(OSError,), seed=seed)
+        )
+    checks.append(_check(
+        "transient-fault-retried-identically",
+        len(clean) == len(retried)
+        and all(np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+                for a, b in zip(clean, retried)),
+    ))
+
+    with injection.active(FaultPlan([FaultSpec("data.load_shard", "error")], seed)):
+        try:
+            batches()
+            checks.append(_check("persistent-fault-is-typed", False,
+                                 "persistent fault did not surface"))
+        except InjectedFault:
+            checks.append(_check("persistent-fault-is-typed", True))
+    return checks
+
+
+def serve_faults(seed: int, workdir: Path) -> list[dict]:
+    """Worker faults and slow batches degrade to typed per-request errors
+    and breaker-gated rejection — never a deadlocked queue."""
+    from ..core.zoo import save_model
+    from ..serve import BatchPolicy, InferenceService, ModelRegistry
+
+    checks = []
+    ckpt = workdir / "serve.npz"
+    save_model(ckpt, _build_model(seed), MODEL)
+    registry = ModelRegistry()
+    registry.register("tiny", ckpt)
+    window = np.random.default_rng(seed).standard_normal(
+        (MODEL.n_in, MODEL.n_fields, GRID, GRID)
+    )
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout=0.2,
+                             name="serve.workers")
+    plan = FaultPlan(
+        [
+            FaultSpec("serve.worker.infer", "delay", at=1, delay=0.05),
+            FaultSpec("serve.worker.infer", "error", at=2),
+            FaultSpec("serve.worker.infer", "error", at=3),
+        ],
+        seed,
+    )
+    service = InferenceService(
+        registry,
+        BatchPolicy(max_batch=2, max_wait_ms=1.0, max_queue=8),
+        n_workers=2, default_mode="fno", request_timeout=10.0, breaker=breaker,
+    )
+    with injection.active(plan), service:
+        slow = service.predict("tiny", window)
+        checks.append(_check("slow-batch-completes",
+                             np.all(np.isfinite(slow["velocity"]))))
+        failures = 0
+        for _ in range(2):
+            try:
+                service.predict("tiny", window)
+            except InjectedFault:
+                failures += 1
+        checks.append(_check("worker-fault-is-typed-per-request", failures == 2))
+        try:
+            service.predict("tiny", window)
+            checks.append(_check("breaker-rejects-fast", False,
+                                 "request admitted through open breaker"))
+        except CircuitOpenError:
+            checks.append(_check("breaker-rejects-fast", True))
+        checks.append(_check("breaker-open", breaker.state == "open"))
+
+        time.sleep(0.25)  # reset_timeout elapses → half-open probe allowed
+        probe = service.predict("tiny", window)
+        checks.append(_check("half-open-probe-recovers",
+                             np.all(np.isfinite(probe["velocity"]))
+                             and breaker.state == "closed"))
+
+        snapshot = service.stats_snapshot()
+        checks.append(_check("stats-shape-preserved",
+                             {"requests", "queue_depth", "breaker"}
+                             <= set(snapshot)))
+        checks.append(_check("queue-drained", service.queue.depth() == 0))
+        checks.append(_check("workers-alive", service.workers.alive == 2))
+    return checks
+
+
+def rollout_guard(seed: int, workdir: Path) -> list[dict]:
+    """NaN-poisoned FNO steps: pure roll-outs raise typed RolloutDiverged,
+    the hybrid driver falls back to the PDE window and stays finite."""
+    from ..faults.policy import DivergenceGuard, RolloutDiverged
+    from ..ns import FDNSSolver2D
+
+    checks = []
+    model = _build_model(seed)
+    windows = np.random.default_rng(seed).standard_normal(
+        (1, MODEL.n_in, MODEL.n_fields, GRID, GRID)
+    )
+
+    # Unguarded: the injected NaN propagates — the failure mode exists.
+    with injection.active(FaultPlan([FaultSpec("rollout.step", "nan")], seed)):
+        record = run_pure_fno_batched(model, windows, n_snapshots=2,
+                                      guard=None)[0]
+    checks.append(_check("nan-injection-poisons-unguarded-rollout",
+                         not np.all(np.isfinite(record.velocity))))
+
+    # Guarded pure roll-out: typed error instead of silent garbage.
+    with injection.active(FaultPlan([FaultSpec("rollout.step", "nan")], seed)):
+        try:
+            run_pure_fno_batched(model, windows, n_snapshots=2,
+                                 guard=DivergenceGuard())
+            checks.append(_check("guard-raises-rollout-diverged", False,
+                                 "guard let a NaN roll-out finish"))
+        except RolloutDiverged as exc:
+            checks.append(_check("guard-raises-rollout-diverged",
+                                 exc.step == 1 and "non-finite" in exc.reason))
+
+    # Hybrid: the guard swaps the poisoned FNO window for PDE integration.
+    nu = 2.0 * np.pi / 400.0
+    cfg = HybridConfig(n_in=MODEL.n_in, n_out=MODEL.n_out,
+                       n_fields=MODEL.n_fields, sample_interval=0.01, n_cycles=2)
+    with injection.active(FaultPlan([FaultSpec("rollout.step", "nan")], seed)):
+        record = run_hybrid_batched(model, [FDNSSolver2D(GRID, nu)],
+                                    windows, cfg)[0]
+    checks.append(_check("hybrid-falls-back-to-pde",
+                         "pde-fallback" in record.source))
+    checks.append(_check("hybrid-record-stays-finite",
+                         bool(np.all(np.isfinite(record.velocity)))))
+    return checks
+
+
+SCENARIOS = {
+    "checkpoint_atomicity": checkpoint_atomicity,
+    "crash_resume": crash_resume,
+    "shard_resilience": shard_resilience,
+    "serve_faults": serve_faults,
+    "rollout_guard": rollout_guard,
+}
+
+
+# ---------------------------------------------------------------------------
+
+
+def run_scenario(name: str, seed: int, workdir) -> dict:
+    """Run one scenario at one seed in a scratch directory."""
+    fn = SCENARIOS[name]
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    try:
+        checks = fn(seed, workdir)
+    except Exception as exc:  # a scenario crash is itself a failing check
+        checks = [_check("scenario-completed", False, type(exc).__name__)]
+    return {
+        "scenario": name,
+        "seed": seed,
+        "ok": all(c["ok"] for c in checks),
+        "checks": checks,
+    }
+
+
+def run_matrix(seeds, scenarios=None, workdir=None) -> dict:
+    """Run scenarios × seeds; return the deterministic verdict dict.
+
+    The verdict carries only seed-determined content (names, booleans,
+    check details) — re-running with the same seeds yields the same
+    JSON byte-for-byte, which CI and the determinism test rely on.
+    """
+    names = sorted(scenarios) if scenarios else sorted(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown scenario(s) {unknown} (known: {sorted(SCENARIOS)})")
+    seeds = [int(s) for s in seeds]
+    base = Path(workdir) if workdir is not None else Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    results = []
+    for seed in seeds:
+        for name in names:
+            results.append(run_scenario(name, seed, base / f"s{seed}" / name))
+    return {
+        "version": 1,
+        "seeds": seeds,
+        "scenarios": names,
+        "ok": all(r["ok"] for r in results),
+        "results": results,
+    }

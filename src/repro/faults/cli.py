@@ -1,0 +1,59 @@
+"""``repro chaos`` — run the chaos scenario matrix and emit a JSON verdict.
+
+Exit code 0 when every check in every (scenario × seed) cell passes,
+1 otherwise.  The verdict JSON is deterministic for a given seed set
+(see :func:`repro.faults.chaos.run_matrix`), so CI can both gate on the
+exit code and diff the artifact across runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["add_chaos_arguments", "run_chaos"]
+
+
+def add_chaos_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed-matrix", type=int, default=1, metavar="N",
+                        help="run seeds 0..N-1 (default 1)")
+    parser.add_argument("--seed", type=int, action="append", default=None,
+                        help="explicit seed (repeatable; overrides --seed-matrix)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        help="restrict to named scenario(s) (repeatable)")
+    parser.add_argument("--list", action="store_true", dest="list_scenarios",
+                        help="list scenario names and exit")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the verdict JSON to PATH")
+    parser.add_argument("--workdir", default=None, metavar="DIR",
+                        help="scratch directory (default: a fresh temp dir)")
+
+
+def run_chaos(args) -> int:
+    from .chaos import SCENARIOS, run_matrix
+
+    if args.list_scenarios:
+        for name in sorted(SCENARIOS):
+            doc = (SCENARIOS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:24s} {doc}")
+        return 0
+    if args.seed_matrix < 1:
+        print("error: --seed-matrix must be >= 1", file=sys.stderr)
+        return 2
+    seeds = args.seed if args.seed else list(range(args.seed_matrix))
+    try:
+        verdict = run_matrix(seeds, scenarios=args.scenario, workdir=args.workdir)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(verdict, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+    n_cells = len(verdict["results"])
+    n_failed = sum(not r["ok"] for r in verdict["results"])
+    print(f"chaos: {n_cells - n_failed}/{n_cells} scenario cells passed "
+          f"(seeds {verdict['seeds']})", file=sys.stderr)
+    return 0 if verdict["ok"] else 1

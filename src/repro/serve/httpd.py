@@ -25,6 +25,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from ..faults.policy import CircuitOpenError
 from .batching import QueueFullError
 from .registry import ModelNotFound
 from .service import InferenceService
@@ -123,7 +124,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
         except ModelNotFound as exc:
             self._send_json(404, {"error": str(exc)})
             return
-        except QueueFullError as exc:
+        except (QueueFullError, CircuitOpenError) as exc:
             self._send_json(
                 503,
                 {"error": str(exc), "retry_after_s": exc.retry_after},
@@ -132,6 +133,13 @@ class _ServeHandler(BaseHTTPRequestHandler):
             return
         except ValueError as exc:
             self._send_json(400, {"error": str(exc)})
+            return
+        except (RuntimeError, TimeoutError) as exc:
+            # Worker-side failure or deadline miss: the request got a
+            # typed error, the client gets a 500 naming the type.
+            self._send_json(
+                500, {"error": str(exc), "type": type(exc).__name__}
+            )
             return
         self._send_json(200, result)
 

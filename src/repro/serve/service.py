@@ -22,13 +22,15 @@ import numpy as np
 from .. import obs
 from ..core.config import HybridConfig
 from ..core.hybrid import run_hybrid_batched, run_pure_fno_batched
+from ..faults import injection as _faults
+from ..faults.policy import CircuitBreaker, CircuitOpenError
 from ..tensor import batch_invariant_kernels
 from .batching import BatchPolicy, BatchQueue, PredictRequest, QueueFullError
 from .registry import ModelRegistry
 from .stats import ServerStats
 from .workers import WorkerPool
 
-__all__ = ["InferenceService", "QueueFullError"]
+__all__ = ["InferenceService", "QueueFullError", "CircuitOpenError"]
 
 _SOLVERS = {"fd": "FDNSSolver2D", "spectral": "SpectralNSSolver2D"}
 
@@ -62,6 +64,13 @@ class InferenceService:
     default_mode:
         ``"hybrid"`` (stable, needs a PDE solver per request) or
         ``"fno"`` (pure roll-out; subject to the paper's blow-up result).
+    breaker:
+        :class:`repro.faults.CircuitBreaker` gating admission: after
+        ``failure_threshold`` consecutive batch failures new requests
+        are rejected fast with :class:`CircuitOpenError` (HTTP 503 +
+        ``Retry-After``) until a half-open probe succeeds, instead of
+        queueing work a sick backend will fail slowly.  Pass ``None``
+        to disable.
     """
 
     def __init__(
@@ -73,6 +82,7 @@ class InferenceService:
         default_mode: str = "hybrid",
         solver_kind: str = "fd",
         request_timeout: float = 60.0,
+        breaker: CircuitBreaker | None = "default",
     ):
         if default_mode not in ("hybrid", "fno"):
             raise ValueError("default_mode must be 'hybrid' or 'fno'")
@@ -84,6 +94,11 @@ class InferenceService:
         self.default_mode = default_mode
         self.solver_kind = solver_kind
         self.request_timeout = float(request_timeout)
+        if breaker == "default":
+            breaker = CircuitBreaker(
+                failure_threshold=5, reset_timeout=5.0, name="serve.workers"
+            )
+        self.breaker = breaker
         self.stats = ServerStats()
         self.queue = BatchQueue(self.policy)
         self.workers = WorkerPool(self.queue, self._execute, n_workers=n_workers)
@@ -126,7 +141,9 @@ class InferenceService:
         ``window`` is ``(n_in, n_fields, n, n)`` in physical units.
         ``cycles`` counts FNO applications (pure mode) or FNO+PDE cycles
         (hybrid mode).  Raises :class:`QueueFullError` when the service
-        is saturated — callers should retry after ``.retry_after``.
+        is saturated and :class:`CircuitOpenError` when the worker
+        breaker has tripped — callers should retry after
+        ``.retry_after`` in both cases.
         """
         mode = mode or self.default_mode
         if mode not in ("hybrid", "fno"):
@@ -166,6 +183,12 @@ class InferenceService:
                 "sample_interval": float(sample_interval),
             },
         )
+        if self.breaker is not None:
+            try:
+                self.breaker.admit()
+            except CircuitOpenError:
+                self.stats.record_rejected()
+                raise
         self.stats.record_submitted()
         try:
             self.queue.submit(request)
@@ -200,6 +223,10 @@ class InferenceService:
             with obs.span(
                 "serve.batch", size=len(batch), model=entry.name, mode=mode
             ), batch_invariant_kernels(self.deterministic):
+                if _faults.ACTIVE:
+                    _faults.fire(
+                        "serve.worker.infer", model=entry.name, size=len(batch)
+                    )
                 if mode == "fno":
                     records = run_pure_fno_batched(
                         entry.model,
@@ -229,13 +256,20 @@ class InferenceService:
                         normalizer=entry.normalizer,
                     )
         except Exception as exc:
+            # A failed batch degrades to per-request typed errors (the
+            # waiting clients all get `exc`); consecutive failures trip
+            # the admission breaker so new traffic fails fast instead.
             now = time.perf_counter()
             for request in batch:
                 request.finish(error=exc)
                 self.stats.record_completed(now - request.enqueued_at, error=True)
             self.stats.record_batch(len(batch), now - started)
+            if self.breaker is not None:
+                self.breaker.record_failure()
             return
 
+        if self.breaker is not None:
+            self.breaker.record_success()
         now = time.perf_counter()
         for request, record in zip(batch, records):
             request.finish(
@@ -273,5 +307,8 @@ class InferenceService:
                 "workers": self.workers.alive,
                 "deterministic": self.deterministic,
                 "default_mode": self.default_mode,
+                "breaker": (
+                    self.breaker.snapshot() if self.breaker is not None else None
+                ),
             },
         )

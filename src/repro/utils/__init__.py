@@ -1,5 +1,6 @@
-"""Shared utilities: RNG fan-out, timing, process-parallel map."""
+"""Shared utilities: RNG fan-out, timing, crash-safe I/O, parallel map."""
 
+from .artifacts import CheckpointError, atomic_write_npz, guarded_npz_load
 from .parallel import default_workers, parallel_map
 from .rng import as_generator, spawn_rngs
 from .timing import LatencyStats, Timer, timed
@@ -7,4 +8,5 @@ from .timing import LatencyStats, Timer, timed
 __all__ = [
     "parallel_map", "default_workers", "spawn_rngs", "as_generator",
     "Timer", "timed", "LatencyStats",
+    "CheckpointError", "atomic_write_npz", "guarded_npz_load",
 ]

@@ -1,0 +1,97 @@
+"""Crash-safe artifact I/O shared by checkpoints and data shards.
+
+``np.savez_compressed(path)`` writes the destination in place, so a
+crash mid-write leaves a truncated zip where a resume expects a
+checkpoint.  :func:`atomic_write_npz` removes that failure mode: the
+bytes land in a temp file in the *same directory* (same filesystem, so
+the rename is atomic) and ``os.replace`` publishes them only once the
+file is complete.  :func:`guarded_npz_load` is the matching read side —
+every way a truncated/corrupt npz can blow up (bad zip directory, zlib
+stream error, short read, missing member) surfaces as a
+:class:`CheckpointError` naming the path, never a raw ``zipfile`` or
+``zlib`` traceback.
+
+Both ends are fault-injection sites (see :mod:`repro.faults.injection`):
+an ``error`` fault before the write models a crash (destination
+untouched), a ``partial_write`` fault publishes a deliberately truncated
+file (torn write on a non-atomic filesystem) so loaders can prove they
+fail typed.
+"""
+
+from __future__ import annotations
+
+import os
+import zipfile
+import zlib
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["CheckpointError", "atomic_write_npz", "guarded_npz_load"]
+
+
+class CheckpointError(ValueError):
+    """A file is not a readable artifact (wrong format/version/truncated).
+
+    Subclasses :class:`ValueError` for compatibility with callers that
+    caught the pre-existing bare ``ValueError``s; the message always
+    names the offending path.
+    """
+
+
+def atomic_write_npz(path, arrays: dict, site: str | None = None) -> Path:
+    """Write ``arrays`` as a compressed npz at ``path``, atomically.
+
+    ``site`` names the fault-injection site guarding the write (e.g.
+    ``"checkpoint.write"``); it costs nothing unless a fault plan is
+    installed.  An injected ``error``/``io_error`` fires *before* any
+    bytes move, so the destination is untouched — crash semantics.  A
+    ``partial_write`` publishes a half-length file — torn-write
+    semantics, for exercising the load path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payloads = ()
+    if site is not None:
+        from ..faults import injection
+
+        if injection.ACTIVE:
+            payloads = injection.fire(site, path=str(path))
+    # Unique per-pid temp name beside the destination; passed as an open
+    # handle because np.savez would append ".npz" to a bare tmp name.
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        if any(spec.kind == "partial_write" for spec in payloads):
+            size = tmp.stat().st_size
+            with open(tmp, "r+b") as fh:
+                fh.truncate(max(size // 2, 1))
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+@contextmanager
+def guarded_npz_load(path, kind: str = "checkpoint"):
+    """``np.load`` with every corruption mode mapped to CheckpointError.
+
+    Yields the open ``NpzFile``; member reads inside the block are
+    guarded too (zlib/short-read errors surface lazily, on access).
+    """
+    path = Path(path)
+    try:
+        data = np.load(path)
+    except FileNotFoundError:
+        raise CheckpointError(f"{path}: {kind} file does not exist") from None
+    except (zipfile.BadZipFile, ValueError, OSError) as exc:
+        raise CheckpointError(f"{path}: not a readable npz {kind} ({exc})") from exc
+    try:
+        with data:
+            yield data
+    except CheckpointError:
+        raise
+    except (zipfile.BadZipFile, zlib.error, EOFError, OSError, KeyError, ValueError) as exc:
+        raise CheckpointError(f"{path}: corrupt or truncated {kind} ({exc})") from exc

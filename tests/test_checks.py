@@ -70,6 +70,15 @@ FIXTURES = {
         "def f(start):\n"
         "    return time.time() - start\n",
     ),
+    "RPR007": (
+        "src/repro/core/fixture_faults.py",
+        "def f(op):\n"
+        "    while True:\n"
+        "        try:\n"
+        "            return op()\n"
+        "        except Exception:\n"
+        "            continue\n",
+    ),
 }
 
 
@@ -87,6 +96,7 @@ def _write_fixture(tmp_path: Path, rule: str, suppress: bool = False) -> Path:
             "RPR004": "acc=[]",
             "RPR005": "except:",
             "RPR006": "time.time()",
+            "RPR007": "while True:",
         }[rule]
         lines = [
             line + f"  # repro: ignore[{rule}] -- seeded fixture" if anchor in line else line
@@ -273,7 +283,9 @@ class TestCLI:
     def test_list_rules_names_the_pack(self, capsys):
         assert check_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        for rule_id in (
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007",
+        ):
             assert rule_id in out
 
 
