@@ -9,8 +9,9 @@
 | RPR005 | numerics-hygiene   | silent except/NaN handling, dropped dealias flag |
 | RPR006 | obs-hygiene        | wall-clock durations, spans entered without with |
 | RPR007 | resilience-hygiene | unbounded while-True retries, swallow-and-continue |
+| RPR008 | artifact-integrity | raw np.savez / open-"wb" writes bypassing manifests |
 """
 
-from . import api, dtype, faults, numerics, obs, rng, threads  # noqa: F401
+from . import api, artifacts, dtype, faults, numerics, obs, rng, threads  # noqa: F401
 
-__all__ = ["api", "dtype", "faults", "numerics", "obs", "rng", "threads"]
+__all__ = ["api", "artifacts", "dtype", "faults", "numerics", "obs", "rng", "threads"]

@@ -9,6 +9,9 @@ and observability::
     python -m repro.cli analyze  --data data.npz
     python -m repro.cli inspect  model.npz
     python -m repro.cli serve    --model tiny=model.npz --port 8764
+    python -m repro.cli run      --workdir runs/a --grid 16 --epochs 3
+    python -m repro.cli resume   --workdir runs/a
+    python -m repro.cli verify   --workdir runs/a
     python -m repro.cli trace    run.trace.jsonl
     python -m repro.cli profile  benchmarks/bench_fig2_separation.py
     python -m repro.cli chaos    --seed-matrix 3
@@ -99,6 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bounded queue size; beyond it /predict answers 503 + Retry-After")
     s.add_argument("--serve-workers", type=int, default=2, help="worker threads")
     s.add_argument("--capacity", type=int, default=4, help="models kept loaded (LRU)")
+    s.add_argument("--require-manifest", action="store_true",
+                   help="refuse models without a verifiable integrity manifest "
+                        "(`repro run` artifacts always have one)")
     s.add_argument("--default-mode", choices=["hybrid", "fno"], default="hybrid",
                    help="rollout mode when a request does not specify one")
     s.add_argument("--solver", choices=["fd", "spectral"], default="fd",
@@ -107,6 +113,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allow batch-size-dependent last-ulp differences for a faster "
                         "mode-mixing einsum")
     s.add_argument("--verbose", action="store_true", help="log every HTTP request")
+
+    from repro.jobs.cli import (
+        add_resume_arguments,
+        add_run_arguments,
+        add_verify_arguments,
+    )
+
+    run = sub.add_parser(
+        "run", help="run the journaled data→train→rollout pipeline in a workdir"
+    )
+    add_run_arguments(run)
+
+    res = sub.add_parser(
+        "resume", help="resume an interrupted pipeline from its journal"
+    )
+    add_resume_arguments(res)
+
+    v = sub.add_parser(
+        "verify", help="verify artifact integrity manifests (checksum + lineage)"
+    )
+    add_verify_arguments(v)
 
     c = sub.add_parser("check", help="run the repro static-analysis rule pack")
     from repro.checks.cli import add_check_arguments
@@ -301,7 +328,8 @@ def _cmd_serve(args) -> int:
     from repro.core import CheckpointError
     from repro.serve import BatchPolicy, InferenceService, ModelRegistry, serve_forever
 
-    registry = ModelRegistry(capacity=args.capacity)
+    registry = ModelRegistry(capacity=args.capacity,
+                             require_manifest=args.require_manifest)
     for spec in args.model:
         name, _, path = spec.rpartition("=")
         try:
@@ -323,6 +351,24 @@ def _cmd_serve(args) -> int:
     )
     serve_forever(service, host=args.host, port=args.port, verbose=args.verbose)
     return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.jobs.cli import run_run
+
+    return run_run(args)
+
+
+def _cmd_resume(args) -> int:
+    from repro.jobs.cli import run_resume
+
+    return run_resume(args)
+
+
+def _cmd_verify(args) -> int:
+    from repro.jobs.cli import run_verify
+
+    return run_verify(args)
 
 
 def _cmd_check(args) -> int:
@@ -356,6 +402,9 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "inspect": _cmd_inspect,
     "serve": _cmd_serve,
+    "run": _cmd_run,
+    "resume": _cmd_resume,
+    "verify": _cmd_verify,
     "check": _cmd_check,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,

@@ -21,7 +21,12 @@ from ..faults.policy import RetryPolicy, call_with_retry
 from ..nn import DivergenceLoss, H1Loss, LpLoss, Module, MSELoss
 from ..optim import Adam, StepLR
 from ..tensor import Tensor, no_grad
-from ..utils.artifacts import CheckpointError, atomic_write_npz, guarded_npz_load
+from ..utils.artifacts import (
+    CheckpointError,
+    atomic_write_npz,
+    guarded_npz_load,
+    stable_hash,
+)
 from .config import TrainingConfig
 
 __all__ = ["TrainingHistory", "Trainer", "make_loss"]
@@ -133,6 +138,24 @@ class Trainer:
     def epochs_completed(self) -> int:
         return len(self.history.train_loss)
 
+    def config_hash(self) -> str:
+        """Hash of everything a checkpoint must agree with to be resumable.
+
+        Covers the model's parameter shapes/dtypes, the optimisation
+        hyper-parameters and the loss — but **not** ``epochs``, so
+        legitimately extending a finished run (same everything, more
+        epochs) is not rejected.
+        """
+        shapes = {
+            name: [list(value.shape), str(value.dtype)]
+            for name, value in self.model.state_dict().items()
+        }
+        cfg = self.config.to_dict()
+        cfg.pop("epochs", None)
+        return stable_hash(
+            {"model": shapes, "training": cfg, "loss": type(self.loss).__name__}
+        )
+
     def save_checkpoint(self, path, retry: RetryPolicy | None = None) -> None:
         """Write model weights, optimiser moments, scheduler position and
         the training history to ``path`` (npz).
@@ -150,36 +173,59 @@ class Trainer:
         for i, (m, v) in enumerate(zip(opt_state["m"], opt_state["v"])):
             arrays[f"opt::m{i}"] = m
             arrays[f"opt::v{i}"] = v
+        config_hash = self.config_hash()
         header = {
             "opt_t": opt_state["t"],
             "opt_lr": opt_state["lr"],
             "n_params": len(opt_state["m"]),
             "scheduler_epoch": self.scheduler.epoch,
+            "config_hash": config_hash,
             "history": self.history.as_dict(),
         }
         arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+        manifest = {
+            "kind": "checkpoint", "config_hash": config_hash,
+            "seed": self.config.seed,
+            "extra": {"epoch": self.epochs_completed},
+        }
         if retry is not None:
             call_with_retry(
                 atomic_write_npz, path, arrays, site="checkpoint.write",
-                policy=retry, label="checkpoint.write",
+                manifest=manifest, policy=retry, label="checkpoint.write",
             )
         else:
-            atomic_write_npz(path, arrays, site="checkpoint.write")
+            atomic_write_npz(path, arrays, site="checkpoint.write", manifest=manifest)
 
     def load_checkpoint(self, path) -> None:
         """Restore a state written by :meth:`save_checkpoint`.
 
         Raises :class:`repro.utils.CheckpointError` (naming the path)
-        when the file is missing, truncated, or not a checkpoint.
+        when the file is missing, truncated, not a checkpoint, fails its
+        integrity manifest, or was written under a different training
+        configuration (config-hash mismatch) — the last *before* any
+        state is applied, so a rejected load leaves the trainer intact.
         """
         path = Path(path)
-        with guarded_npz_load(path) as data:
+        with guarded_npz_load(path, verify=True) as data:
             if "header" not in data.files:
                 raise CheckpointError(
                     f"{path}: not a trainer checkpoint (npz without a "
                     f"'header' entry; keys: {sorted(data.files)[:8]})"
                 )
             header = json.loads(bytes(data["header"]).decode())
+            stored_hash = header.get("config_hash")
+            if stored_hash is not None and stored_hash != self.config_hash():
+                raise CheckpointError(
+                    f"{path}: checkpoint was written under config hash "
+                    f"{stored_hash}, but this trainer hashes to "
+                    f"{self.config_hash()} — the model architecture, "
+                    f"optimiser settings or loss differ from the run that "
+                    f"wrote it. Rebuild the trainer with the original config "
+                    f"(for pipeline runs: `repro resume --workdir ...` reads "
+                    f"pipeline.json) or start a fresh run directory. "
+                    f"Changing only `epochs` never changes the hash, so "
+                    f"extending training is always allowed."
+                )
             model_state = {
                 key[len("model::") :]: data[key]
                 for key in data.files
@@ -221,7 +267,10 @@ class Trainer:
         Validation (if given) is evaluated after every epoch with the
         training loss module.  With ``checkpoint_path`` and
         ``checkpoint_every`` set, a checkpoint is written every that many
-        epochs (and at the end).
+        epochs (and at the end).  A ``{epoch}`` placeholder in
+        ``checkpoint_path`` (e.g. ``ckpt_{epoch:05d}.npz``) yields
+        epoch-numbered checkpoints — each write is a fresh file, so a
+        crash during epoch N's save can never damage epoch N-1's.
         """
         loader = DataLoader(
             x_train, y_train, batch_size=self.config.batch_size, shuffle=True,
@@ -265,6 +314,9 @@ class Trainer:
                 if checkpoint_path is not None and checkpoint_every and (
                     (epoch + 1) % checkpoint_every == 0 or epoch == self.config.epochs - 1
                 ):
+                    target = str(checkpoint_path)
+                    if "{epoch" in target:
+                        target = target.format(epoch=self.epochs_completed)
                     with obs.span("train.checkpoint", epoch=epoch):
-                        self.save_checkpoint(checkpoint_path, retry=checkpoint_retry)
+                        self.save_checkpoint(target, retry=checkpoint_retry)
         return self.history

@@ -19,7 +19,12 @@ import numpy as np
 
 from ..data.normalization import FieldNormalizer
 from ..nn import Module
-from ..utils.artifacts import CheckpointError, atomic_write_npz, guarded_npz_load
+from ..utils.artifacts import (
+    CheckpointError,
+    atomic_write_npz,
+    guarded_npz_load,
+    stable_hash,
+)
 from .config import ChannelFNOConfig, SpaceTimeFNOConfig, Spatial3DChannelsConfig
 from .models import build_model
 
@@ -45,8 +50,20 @@ _CONFIG_KINDS = {
 # ``from repro.core import CheckpointError`` imports keep working.
 
 
-def save_model(path, model: Module, config, normalizer: FieldNormalizer | None = None) -> None:
-    """Write model weights + config (+ optional normalizer) to ``path``."""
+def save_model(
+    path,
+    model: Module,
+    config,
+    normalizer: FieldNormalizer | None = None,
+    manifest: dict | bool | None = None,
+) -> None:
+    """Write model weights + config (+ optional normalizer) to ``path``.
+
+    The write is atomic and leaves an integrity-manifest sidecar
+    recording the model kind and config hash; ``manifest`` adds
+    provenance (``seed``, ``parents`` lineage, ``extra``) on top, or
+    ``False`` skips the sidecar entirely.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     header: dict = {"version": _FORMAT_VERSION, "config": config.to_dict()}
@@ -62,7 +79,11 @@ def save_model(path, model: Module, config, normalizer: FieldNormalizer | None =
         arrays["norm::mean"] = state["mean"]
         arrays["norm::std"] = state["std"]
     arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
-    atomic_write_npz(path, arrays, site="checkpoint.write")
+    if manifest is not False:
+        manifest = dict(manifest) if isinstance(manifest, dict) else {}
+        manifest.setdefault("kind", "model")
+        manifest.setdefault("config_hash", stable_hash(config.to_dict()))
+    atomic_write_npz(path, arrays, site="checkpoint.write", manifest=manifest)
 
 
 def checkpoint_fingerprint(path) -> tuple[int, int]:
@@ -112,10 +133,11 @@ def load_model(path, dtype=np.float64):
 
     ``normalizer`` is None when none was stored.  Raises
     :class:`CheckpointError` (naming the offending path) when the file is
-    missing, not a checkpoint, or from an unknown version/kind.
+    missing, not a checkpoint, from an unknown version/kind, or fails its
+    integrity manifest (manifest-less legacy files still load).
     """
     path = Path(path)
-    with guarded_npz_load(path) as data:
+    with guarded_npz_load(path, verify=True) as data:
         header = _read_header(data, path)
         config = _build_config(header, path)
         model = build_model(config, rng=np.random.default_rng(0), dtype=dtype)
@@ -148,7 +170,7 @@ def inspect_checkpoint(path) -> dict:
     endpoint.  Raises :class:`CheckpointError` on anything unreadable.
     """
     path = Path(path)
-    with guarded_npz_load(path) as data:
+    with guarded_npz_load(path, verify=True) as data:
         header = _read_header(data, path)
         kind = header.get("config", {}).get("kind")
         _build_config(header, path)  # validate, result unused

@@ -15,7 +15,7 @@ and the cross-solver experiments).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -80,6 +80,21 @@ class DataGenConfig:
             raise ValueError(f"unknown forcing {self.forcing!r}")
         if self.forcing != "none" and self.solver == "lbm":
             raise ValueError("forcing is only supported by the Navier-Stokes solvers")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @property
+    def config_hash(self) -> str:
+        """Stable hash of the full generation config.
+
+        Recorded in shard integrity manifests, so a resumed generation
+        run can prove an existing shard was produced by *this* config
+        before skipping it.
+        """
+        from ..utils.artifacts import stable_hash
+
+        return stable_hash(self.to_dict())
 
     @property
     def n_snapshots(self) -> int:

@@ -19,13 +19,21 @@ __all__ = ["save_samples", "load_samples"]
 _FORMAT_VERSION = 1
 
 
-def save_samples(path, samples: list[TrajectorySample], metadata: dict | None = None) -> None:
+def save_samples(
+    path,
+    samples: list[TrajectorySample],
+    metadata: dict | None = None,
+    manifest: dict | bool | None = None,
+) -> None:
     """Write trajectories to ``path`` (npz, float32 fields).
 
     Casting to float32 halves the footprint; the dynamics carry far more
     uncertainty than the cast drops.  The write is atomic (temp file +
     ``os.replace``), so a crashed generation run never leaves a
-    truncated shard where a resume expects data.
+    truncated shard where a resume expects data, and it leaves an
+    integrity-manifest sidecar; ``manifest`` adds provenance fields
+    (``config_hash``, ``seed``, ``extra``) or ``False`` skips the
+    sidecar.
     """
     path = Path(path)
     if not samples:
@@ -43,7 +51,10 @@ def save_samples(path, samples: list[TrajectorySample], metadata: dict | None = 
         "metadata": metadata or {},
     }
     arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
-    atomic_write_npz(path, arrays, site="data.write_shard")
+    if manifest is not False:
+        manifest = dict(manifest) if isinstance(manifest, dict) else {}
+        manifest.setdefault("kind", "shard")
+    atomic_write_npz(path, arrays, site="data.write_shard", manifest=manifest)
 
 
 def load_samples(path) -> tuple[list[TrajectorySample], dict]:

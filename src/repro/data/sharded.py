@@ -23,6 +23,7 @@ import numpy as np
 from ..faults import injection as _faults
 from ..faults.policy import RetryPolicy, call_with_retry
 from ..tensor import Tensor
+from ..utils.artifacts import CheckpointError, verify_manifest
 from ..utils.rng import as_generator
 from .dataset import make_channel_pairs, stack_fields
 from .generation import DataGenConfig
@@ -31,17 +32,41 @@ from .io import load_samples, save_samples
 __all__ = ["generate_sharded_dataset", "ShardedWindowDataset"]
 
 
+def _shard_reusable(path: Path, config: DataGenConfig, start: int, stop: int) -> bool:
+    """True when ``path`` is a verified shard of exactly this slice.
+
+    Three gates: the integrity manifest must verify (checksum + size —
+    a torn shard from a killed run fails here), its recorded config hash
+    must match ``config`` (a shard from a different grid/Re/seed must
+    not be silently reused), and its sample range must match the slice.
+    """
+    try:
+        manifest = verify_manifest(path, required=True)
+    except CheckpointError:
+        return False
+    return (
+        manifest.get("config_hash") == config.config_hash
+        and manifest.get("sample_range") == [start, stop]
+    )
+
+
 def generate_sharded_dataset(
     config: DataGenConfig,
     out_dir,
     samples_per_shard: int = 50,
     n_workers: int | None = 1,
+    resume: bool = False,
 ) -> list[Path]:
     """Generate ``config.n_samples`` trajectories into npz shards.
 
     Shard ``i`` holds samples ``[i·S, (i+1)·S)`` with the exact same RNG
     streams a monolithic :func:`generate_dataset` run would give them, so
     sharding is purely a storage decision.  Returns the shard paths.
+
+    With ``resume=True``, shards that already exist on disk with a
+    checksum-verified manifest matching this config and sample range are
+    skipped — an interrupted generation run repeats only the shard it
+    was killed in, not the hours of solver time before it.
     """
     if samples_per_shard < 1:
         raise ValueError("samples_per_shard must be >= 1")
@@ -57,13 +82,23 @@ def generate_sharded_dataset(
     paths: list[Path] = []
     for shard_idx, start in enumerate(range(0, config.n_samples, samples_per_shard)):
         stop = min(start + samples_per_shard, config.n_samples)
+        path = out_dir / f"shard_{shard_idx:05d}.npz"
+        if resume and _shard_reusable(path, config, start, stop):
+            paths.append(path)
+            continue
         jobs = [(config, entropies[i], i) for i in range(start, stop)]
         shard_samples = parallel_map(_shard_worker, jobs, n_workers=n_workers)
-        path = out_dir / f"shard_{shard_idx:05d}.npz"
-        save_samples(path, shard_samples, metadata={
-            "shard_index": shard_idx, "sample_range": [start, stop],
-            "n_samples_total": config.n_samples,
-        })
+        save_samples(
+            path, shard_samples,
+            metadata={
+                "shard_index": shard_idx, "sample_range": [start, stop],
+                "n_samples_total": config.n_samples,
+            },
+            manifest={
+                "config_hash": config.config_hash, "seed": config.seed,
+                "extra": {"shard_index": shard_idx, "sample_range": [start, stop]},
+            },
+        )
         paths.append(path)
     return paths
 

@@ -66,7 +66,10 @@ KNOWN_SITES = (
 # delay      — time.sleep(spec.delay) at the site (slow worker / slow disk)
 # nan        — poison the site's array payload with a NaN (fire_value)
 # partial_write — truncate the artifact mid-write (atomic_write_npz)
-KINDS = ("error", "io_error", "delay", "nan", "partial_write")
+# kill       — SIGKILL the current process at the site: no exception, no
+#              cleanup, no atexit — a power cut with a deterministic
+#              location.  For supervised-child chaos scenarios.
+KINDS = ("error", "io_error", "delay", "nan", "partial_write", "kill")
 
 
 class InjectedFault(RuntimeError):
@@ -282,6 +285,11 @@ def fire(site: str, **ctx) -> tuple[FaultSpec, ...]:
             raise InjectedIOError(site, spec.message)
         elif spec.kind == "error":
             raise InjectedFault(site, spec.message)
+        elif spec.kind == "kill":
+            import os
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
         else:
             payloads.append(spec)
     return tuple(payloads)

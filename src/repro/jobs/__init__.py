@@ -1,0 +1,39 @@
+"""repro.jobs — crash-safe resumable pipelines.
+
+Journaled stage execution (:mod:`~repro.jobs.pipeline`), append-only
+run journals (:mod:`~repro.jobs.journal`), artifact lineage and legacy
+adoption (:mod:`~repro.jobs.manifest`), checkpoint retention
+(:mod:`~repro.jobs.retention`), and the heartbeat watchdog
+(:mod:`~repro.jobs.supervisor`).  `repro run` / `repro resume` /
+`repro verify` in the CLI are thin wrappers over these.
+"""
+
+from .journal import Journal, JournalError
+from .manifest import adopt_legacy, artifact_record, verify_chain
+from .pipeline import STAGES, Pipeline, PipelineConfig, PipelineError
+from .retention import gc_artifacts
+from .supervisor import (
+    EXIT_DIVERGED,
+    Heartbeat,
+    Supervisor,
+    child_command,
+    read_heartbeat,
+)
+
+__all__ = [
+    "Journal",
+    "JournalError",
+    "adopt_legacy",
+    "artifact_record",
+    "verify_chain",
+    "STAGES",
+    "Pipeline",
+    "PipelineConfig",
+    "PipelineError",
+    "gc_artifacts",
+    "EXIT_DIVERGED",
+    "Heartbeat",
+    "Supervisor",
+    "child_command",
+    "read_heartbeat",
+]

@@ -1,0 +1,221 @@
+"""``repro run`` / ``repro resume`` / ``repro verify`` — pipeline CLI.
+
+``run`` starts a fresh journaled pipeline in ``--workdir``; ``resume``
+continues one from its journal and durable artifacts (no flags needed —
+the config travels in ``pipeline.json``); ``verify`` checks the
+checksum-manifest chain of artifacts (or of everything a run produced).
+``--supervise`` wraps either entry point in the watchdog: stages run in
+a child process emitting heartbeats, and crashes/stalls restart the
+child with bounded, seeded backoff.
+
+Exit codes: 0 success, 1 failure, 2 usage/state error, 13 the child
+escalated :class:`~repro.faults.policy.RolloutDiverged` (the supervisor
+does not retry those).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = [
+    "add_run_arguments", "add_resume_arguments", "add_verify_arguments",
+    "run_run", "run_resume", "run_verify",
+]
+
+
+def _add_supervise_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--supervise", action="store_true",
+                        help="run stages in a watchdogged child process with "
+                             "heartbeats and bounded restarts")
+    parser.add_argument("--max-restarts", type=int, default=3,
+                        help="restart budget under --supervise")
+    parser.add_argument("--stall-timeout", type=float, default=30.0,
+                        help="seconds without a heartbeat before the child is "
+                             "killed and restarted")
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+
+
+def add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workdir", required=True,
+                        help="run directory (journal, config, artifacts)")
+    g = parser.add_argument_group("data generation")
+    g.add_argument("--grid", type=int, default=16)
+    g.add_argument("--reynolds", type=float, default=400.0)
+    g.add_argument("--samples", type=int, default=4)
+    g.add_argument("--warmup", type=float, default=0.1)
+    g.add_argument("--duration", type=float, default=0.2)
+    g.add_argument("--interval", type=float, default=0.02)
+    g.add_argument("--solver", choices=["lbm", "spectral", "fd"], default="spectral")
+    g.add_argument("--ic", choices=["uniform", "band"], default="band")
+    g.add_argument("--shard-size", type=int, default=2, dest="shard_size",
+                   help="samples per shard")
+    t = parser.add_argument_group("training")
+    t.add_argument("--n-in", type=int, default=2)
+    t.add_argument("--n-out", type=int, default=1)
+    t.add_argument("--modes", type=int, default=4)
+    t.add_argument("--width", type=int, default=8)
+    t.add_argument("--layers", type=int, default=2)
+    t.add_argument("--epochs", type=int, default=3)
+    t.add_argument("--batch-size", type=int, default=4)
+    t.add_argument("--lr", type=float, default=1e-3)
+    t.add_argument("--loss", choices=["l2", "mse", "h1", "divergence"], default="l2")
+    t.add_argument("--test-fraction", type=float, default=0.25)
+    r = parser.add_argument_group("evaluation + housekeeping")
+    r.add_argument("--rollout-mode", choices=["hybrid", "fno"], default="hybrid")
+    r.add_argument("--cycles", type=int, default=1)
+    r.add_argument("--keep-checkpoints", type=int, default=3,
+                   help="retention: newest verified checkpoints kept")
+    r.add_argument("--checkpoint-budget-mb", type=float, default=0.0,
+                   help="retention: total checkpoint disk budget (0 = off)")
+    parser.add_argument("--seed", type=int, default=0)
+    _add_supervise_arguments(parser)
+
+
+def add_resume_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workdir", required=True,
+                        help="run directory started by `repro run`")
+    _add_supervise_arguments(parser)
+
+
+def add_verify_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*",
+                        help="artifacts to verify (checksum + lineage chain)")
+    parser.add_argument("--workdir", default=None,
+                        help="verify every artifact a pipeline run produced")
+
+
+def _config_from_args(args):
+    from .pipeline import PipelineConfig
+
+    return PipelineConfig(
+        grid=args.grid, reynolds=args.reynolds, samples=args.samples,
+        warmup=args.warmup, duration=args.duration, interval=args.interval,
+        solver=args.solver, ic=args.ic, samples_per_shard=args.shard_size,
+        n_in=args.n_in, n_out=args.n_out, modes=args.modes, width=args.width,
+        layers=args.layers, epochs=args.epochs, batch_size=args.batch_size,
+        lr=args.lr, loss=args.loss, test_fraction=args.test_fraction,
+        rollout_mode=args.rollout_mode, cycles=args.cycles,
+        keep_checkpoints=args.keep_checkpoints,
+        checkpoint_budget_mb=args.checkpoint_budget_mb, seed=args.seed,
+    )
+
+
+def _print_summary(summary: dict) -> None:
+    for cell in summary["stages"]:
+        arts = ", ".join(Path(a).name for a in cell["artifacts"])
+        print(f"stage {cell['stage']:<8} {cell['status']:<9} {arts}")
+
+
+def _execute(workdir: Path, config, resume: bool) -> int:
+    """Run the pipeline in-process (the --child / unsupervised path)."""
+    from ..faults.policy import RolloutDiverged
+    from ..utils.artifacts import CheckpointError
+    from .pipeline import Pipeline, PipelineError
+    from .supervisor import EXIT_DIVERGED, Heartbeat
+
+    try:
+        pipeline = Pipeline(workdir, config)
+    except PipelineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    heartbeat = Heartbeat(workdir / "heartbeat.json")
+    heartbeat.start()
+    try:
+        summary = pipeline.run(resume=resume)
+    except RolloutDiverged as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_DIVERGED
+    except (PipelineError, CheckpointError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        heartbeat.stop()
+    _print_summary(summary)
+    return 0
+
+
+def _supervised(workdir: Path, args, resume: bool) -> int:
+    from ..faults.policy import RetryPolicy
+    from .journal import Journal
+    from .supervisor import Supervisor, child_command
+
+    def narrate(kind, **info):
+        if kind == "launch":
+            print(f"supervisor: launching attempt {info['attempt'] + 1}",
+                  file=sys.stderr)
+        else:
+            print(f"supervisor: child {kind} (rc={info.get('returncode')})",
+                  file=sys.stderr)
+
+    supervisor = Supervisor(
+        child_command(workdir, resume=True),
+        heartbeat_path=workdir / "heartbeat.json",
+        retry=RetryPolicy(attempts=args.max_restarts + 1, backoff=0.2,
+                          retry_on=()),
+        stall_timeout=args.stall_timeout,
+        on_event=narrate,
+    )
+    report = supervisor.run()
+    if report["escalated"]:
+        failure = Journal(workdir / "journal.jsonl").last_failure() or {}
+        print(f"supervisor: escalating {report['escalated']} "
+              f"({failure.get('detail', 'no journal detail')})", file=sys.stderr)
+        return 13
+    if not report["ok"]:
+        print(f"supervisor: giving up after {len(report['attempts'])} attempt(s)",
+              file=sys.stderr)
+        return 1
+    print(f"supervisor: pipeline complete after {report['restarts']} restart(s)",
+          file=sys.stderr)
+    return 0
+
+
+def run_run(args) -> int:
+    from .pipeline import Pipeline, PipelineError
+
+    workdir = Path(args.workdir)
+    config = _config_from_args(args)
+    if args.supervise:
+        try:
+            Pipeline(workdir, config)  # persist/validate config for the child
+        except PipelineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return _supervised(workdir, args, resume=False)
+    return _execute(workdir, config, resume=args.child)
+
+
+def run_resume(args) -> int:
+    workdir = Path(args.workdir)
+    if args.supervise:
+        return _supervised(workdir, args, resume=True)
+    return _execute(workdir, config=None, resume=True)
+
+
+def run_verify(args) -> int:
+    from ..utils.artifacts import CheckpointError
+    from .manifest import verify_chain
+    from .pipeline import Pipeline, PipelineError
+
+    paths = [Path(p) for p in args.paths]
+    if args.workdir:
+        try:
+            paths.extend(Pipeline(Path(args.workdir)).artifact_paths())
+        except PipelineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if not paths:
+        print("error: nothing to verify (give paths or --workdir)", file=sys.stderr)
+        return 2
+    failed = 0
+    for path in paths:
+        try:
+            chain = verify_chain(path)
+        except CheckpointError as exc:
+            print(f"FAIL {path}: {exc}")
+            failed += 1
+        else:
+            print(f"ok   {path} ({len(chain)} artifact(s) in chain)")
+    return 1 if failed else 0

@@ -1,0 +1,128 @@
+"""Append-only JSONL journal of pipeline progress.
+
+The journal is the pipeline's only durable state: every stage
+transition is one JSON object on one line, appended with a single
+``os.write`` to an ``O_APPEND`` descriptor and fsynced before the
+caller proceeds.  A process crash therefore leaves at worst one torn
+*final* line — which :meth:`Journal.load` drops, because an append that
+never completed is by definition a step that never completed.  Torn or
+garbage lines anywhere *before* the tail still raise: that is
+corruption, not interruption.
+
+Records are dicts with a ``type`` field; the pipeline uses::
+
+    {"type": "run",  "status": "created", "config_hash": ..., "stages": [...]}
+    {"type": "step", "stage": "train", "status": "started", "attempt": 1}
+    {"type": "step", "stage": "train", "status": "done",
+     "config_hash": ..., "artifacts": [{"path": ..., "sha256": ...}]}
+    {"type": "step", "stage": "train", "status": "failed", "error": "..."}
+
+No timestamps are recorded — replays compare journals across runs, and
+the journal only needs *order*, which append-only gives for free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["JournalError", "Journal"]
+
+
+class JournalError(ValueError):
+    """The journal file is corrupt (torn/garbage line before the tail)."""
+
+
+class Journal:
+    """Append-only JSONL journal with crash-atomic appends."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._fd: int | None = None
+
+    # -- writing -------------------------------------------------------
+    def append(self, record: dict) -> dict:
+        """Durably append one record (single write + fsync)."""
+        if "type" not in record:
+            raise ValueError("journal records need a 'type' field")
+        payload = (json.dumps(record, sort_keys=True) + "\n").encode()
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        os.write(self._fd, payload)
+        os.fsync(self._fd)
+        return record
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> list[dict]:
+        """Parse every complete record; a torn final line is dropped.
+
+        Raises :class:`JournalError` for malformed lines that are *not*
+        the tail — those cannot be explained by an interrupted append.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return []
+        lines = raw.decode("utf-8", errors="replace").splitlines()
+        records: list[dict] = []
+        last = len(lines) - 1
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+                if not isinstance(obj, dict) or "type" not in obj:
+                    raise ValueError("not a journal record")
+            except ValueError as exc:
+                if i == last:
+                    break  # torn tail from a crashed append — ignore
+                raise JournalError(
+                    f"{self.path}:{i + 1}: corrupt journal line ({exc})"
+                ) from None
+            records.append(obj)
+        return records
+
+    def completed_steps(self) -> dict[str, dict]:
+        """Latest ``status == "done"`` record per stage.
+
+        A later ``started``/``failed`` record for the same stage
+        invalidates the earlier ``done`` — re-running a stage makes its
+        old artifacts unreliable until it finishes again.
+        """
+        done: dict[str, dict] = {}
+        for record in self.load():
+            if record.get("type") != "step":
+                continue
+            stage = record.get("stage")
+            if record.get("status") == "done":
+                done[stage] = record
+            elif stage in done:
+                del done[stage]
+        return done
+
+    def last_failure(self) -> dict | None:
+        """The most recent ``failed`` step record, if any."""
+        failure = None
+        for record in self.load():
+            if record.get("type") == "step" and record.get("status") == "failed":
+                failure = record
+        return failure

@@ -1,0 +1,98 @@
+"""Artifact lineage: records, chain verification, legacy adoption.
+
+:mod:`repro.utils.artifacts` owns the low-level manifest sidecars
+(sha256 + provenance per file); this module is the graph view on top.
+Each manifest may carry ``parents`` — ``{"path", "sha256"}`` records of
+the artifacts it was derived from (a model checkpoint's parents are its
+training shards) — and :func:`verify_chain` walks that DAG verifying
+every node, so "this model is exactly the model trained on exactly this
+data" becomes one call.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..utils.artifacts import (
+    CheckpointError,
+    guarded_npz_load,
+    load_manifest,
+    manifest_path,
+    sha256_file,
+    verify_manifest,
+    write_manifest,
+)
+
+__all__ = ["artifact_record", "verify_chain", "adopt_legacy"]
+
+
+def artifact_record(path, *, checksum: str | None = None, relative_to=None) -> dict:
+    """``{"path", "sha256"}`` lineage record for ``path``.
+
+    The recorded path is the file *name* — or, with ``relative_to``, the
+    path relative to that directory (e.g. ``data/shard_00000.npz`` for a
+    shard referenced from the run root).  Either way the record is
+    relocatable: lineage survives moving the whole run directory.  The
+    checksum comes from the manifest sidecar when present, so building a
+    lineage record does not re-hash large artifacts.
+    """
+    path = Path(path)
+    if checksum is None:
+        try:
+            checksum = load_manifest(path)["sha256"]
+        except CheckpointError:
+            checksum = sha256_file(path)
+    name = (
+        path.relative_to(relative_to).as_posix() if relative_to is not None
+        else path.name
+    )
+    return {"path": name, "sha256": checksum}
+
+
+def verify_chain(path, *, _seen: set | None = None) -> list[Path]:
+    """Verify ``path`` and, recursively, every parent in its lineage.
+
+    Parents are resolved relative to the artifact's directory.  Returns
+    the verified paths (depth-first, the artifact itself last); raises
+    :class:`CheckpointError` at the first broken link — missing parent,
+    missing manifest, or checksum mismatch anywhere in the chain.
+    """
+    path = Path(path)
+    seen = _seen if _seen is not None else set()
+    key = path.resolve()
+    if key in seen:
+        return []
+    seen.add(key)
+    manifest = verify_manifest(path, required=True)
+    verified: list[Path] = []
+    for parent in manifest.get("parents", ()):  # depth-first over lineage
+        parent_path = path.parent / parent["path"]
+        verified += verify_chain(parent_path, _seen=seen)
+        recorded = load_manifest(parent_path)["sha256"]
+        if recorded != parent["sha256"]:
+            raise CheckpointError(
+                f"{path}: lineage mismatch — parent {parent['path']} now has "
+                f"sha256 {recorded[:12]}…, expected {parent['sha256'][:12]}… "
+                f"(the parent was rewritten after this artifact was derived)"
+            )
+    verified.append(path)
+    return verified
+
+
+def adopt_legacy(path, *, kind: str = "artifact", **meta) -> dict:
+    """Give a pre-manifest npz artifact an integrity manifest.
+
+    Migration path for checkpoints/shards written before the manifest
+    layer existed: the file is first proven to be a *readable* npz (a
+    corrupt legacy file must not be blessed with a valid checksum), then
+    a sidecar is written hashing its current bytes.  Returns the new
+    manifest.  No-op when a sidecar already exists.
+    """
+    path = Path(path)
+    if manifest_path(path).exists():
+        return load_manifest(path)
+    with guarded_npz_load(path, kind=kind) as data:
+        for key in data.files:  # force-decompress every member
+            data[key]
+    write_manifest(path, kind=kind, **meta)
+    return load_manifest(path)

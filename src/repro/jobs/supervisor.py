@@ -1,0 +1,204 @@
+"""Watchdog supervisor: child stages, heartbeat files, bounded restarts.
+
+The pipeline stages run in a child process; the only thing the parent
+trusts is the filesystem.  The child emits a heartbeat file (atomic
+JSON, monotonically increasing ``seq``) from a daemon thread; the
+supervisor polls it and arms a fresh
+:class:`~repro.faults.policy.Deadline` on every beat.  Three failure
+modes, three behaviours:
+
+* **crash** (child exits non-zero or is killed) — restart with the
+  bounded, seeded-backoff schedule of a
+  :class:`~repro.faults.policy.RetryPolicy`; the journaled pipeline
+  resumes from its last durable artifact;
+* **stall** (heartbeat deadline missed) — SIGKILL the child, then the
+  same restart path; a hung NFS mount or a livelocked solver looks
+  exactly like a crash from here;
+* **divergence** (child exits :data:`EXIT_DIVERGED`, the code
+  ``repro run`` maps :class:`~repro.faults.policy.RolloutDiverged` to)
+  — escalate, do not restart: re-running a surrogate that left the
+  attractor wastes the whole retry budget on the same wrong answer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from ..faults.policy import Deadline, RetryPolicy
+from ..utils.artifacts import atomic_write_json
+
+__all__ = ["EXIT_DIVERGED", "Heartbeat", "read_heartbeat", "Supervisor",
+           "child_command"]
+
+# Exit code `repro run --child` uses for RolloutDiverged: the supervisor
+# must be able to tell "crashed, retry" from "diverged, escalate"
+# without parsing stderr.
+EXIT_DIVERGED = 13
+
+
+class Heartbeat:
+    """Daemon-thread heartbeat writer for a pipeline child process.
+
+    Each beat atomically rewrites ``path`` with ``{"pid", "seq",
+    "interval"}``.  ``seq`` increments per beat, so a *restarted* child
+    that reuses the path still advances the supervisor's liveness view
+    (the pid changes, the seq restarts — either difference counts as a
+    beat).
+    """
+
+    def __init__(self, path, interval: float = 0.25):
+        self.path = Path(path)
+        self.interval = float(interval)
+        self._seq = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def beat(self) -> None:
+        self._seq += 1
+        atomic_write_json(
+            self.path, {"pid": os.getpid(), "seq": self._seq, "interval": self.interval}
+        )
+
+    def start(self) -> "Heartbeat":
+        self.beat()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="repro-heartbeat")
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.beat()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "Heartbeat":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def read_heartbeat(path) -> dict | None:
+    """Parse a heartbeat file; None when absent or torn mid-write."""
+    try:
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+    except (FileNotFoundError, json.JSONDecodeError, UnicodeDecodeError, OSError):
+        return None
+
+
+class Supervisor:
+    """Run a child command under crash/stall supervision.
+
+    Parameters
+    ----------
+    command:
+        argv of the child (typically ``[sys.executable, "-m",
+        "repro.cli", "resume", "--workdir", ..., "--child"]``).
+    heartbeat_path:
+        File the child beats on; staleness beyond ``stall_timeout``
+        after the last observed beat means the child is hung.
+    retry:
+        Bounds the restarts: ``retry.attempts`` total launches,
+        ``retry.delays()`` slept between them (seeded, deterministic).
+    stall_timeout:
+        Seconds without a new beat before the child is declared stalled
+        and killed.  ``None`` disables stall detection.
+    """
+
+    def __init__(
+        self,
+        command: list[str],
+        *,
+        heartbeat_path=None,
+        retry: RetryPolicy | None = None,
+        stall_timeout: float | None = 10.0,
+        poll_interval: float = 0.05,
+        env: dict | None = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+        on_event=None,
+    ):
+        self.command = list(command)
+        self.heartbeat_path = Path(heartbeat_path) if heartbeat_path else None
+        self.retry = retry or RetryPolicy(attempts=4, backoff=0.1, retry_on=())
+        self.stall_timeout = stall_timeout
+        self.poll_interval = float(poll_interval)
+        self.env = env
+        self._clock = clock
+        self._sleep = sleep
+        self._on_event = on_event or (lambda kind, **info: None)
+
+    # ------------------------------------------------------------------
+    def _watch_child(self, proc: subprocess.Popen) -> tuple[int, str]:
+        """Wait for exit or stall; returns ``(returncode, outcome)``."""
+        last_beat = read_heartbeat(self.heartbeat_path) if self.heartbeat_path else None
+        deadline = (
+            Deadline(self.stall_timeout, clock=self._clock)
+            if self.stall_timeout is not None and self.heartbeat_path is not None
+            else None
+        )
+        while True:
+            rc = proc.poll()
+            if rc is not None:
+                if rc == 0:
+                    return rc, "success"
+                if rc == EXIT_DIVERGED:
+                    return rc, "diverged"
+                return rc, "crashed"
+            if deadline is not None:
+                beat = read_heartbeat(self.heartbeat_path)
+                if beat != last_beat and beat is not None:
+                    last_beat = beat
+                    deadline = Deadline(self.stall_timeout, clock=self._clock)
+                elif deadline.expired():
+                    proc.kill()
+                    proc.wait()
+                    return proc.returncode, "stalled"
+            self._sleep(self.poll_interval)
+
+    def run(self) -> dict:
+        """Launch/relaunch the child until success, escalation, or the
+        retry budget runs out.  Returns a report dict (``ok`` plus the
+        per-attempt outcomes); never raises for child failures."""
+        delays = self.retry.delays()
+        attempts: list[dict] = []
+        ok = False
+        escalated = None
+        for attempt in range(self.retry.attempts):
+            self._on_event("launch", attempt=attempt, command=self.command)
+            proc = subprocess.Popen(self.command, env=self.env)
+            rc, outcome = self._watch_child(proc)
+            attempts.append({"attempt": attempt, "returncode": rc, "outcome": outcome})
+            self._on_event(outcome, attempt=attempt, returncode=rc)
+            if outcome == "success":
+                ok = True
+                break
+            if outcome == "diverged":
+                escalated = "RolloutDiverged"
+                break
+            if attempt < self.retry.attempts - 1:
+                self._sleep(delays[attempt])
+        return {
+            "ok": ok,
+            "attempts": attempts,
+            "restarts": max(len(attempts) - 1, 0),
+            "escalated": escalated,
+        }
+
+
+def child_command(workdir, *, resume: bool = True) -> list[str]:
+    """argv for a supervised pipeline child resuming ``workdir``."""
+    sub = "resume" if resume else "run"
+    return [sys.executable, "-m", "repro.cli", sub,
+            "--workdir", str(workdir), "--child"]

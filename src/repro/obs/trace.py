@@ -161,13 +161,19 @@ class Tracer:
             if self.path is not None:
                 if self._fh is None:
                     self.path.parent.mkdir(parents=True, exist_ok=True)
-                    self._fh = self.path.open("w", encoding="utf-8")
-                self._fh.write(json.dumps(record, default=_jsonable) + "\n")
+                    # Unbuffered binary: each record is one write syscall,
+                    # so a crash (even SIGKILL) can tear at most the final
+                    # line — never interleave or hold lines in a userspace
+                    # buffer.  load_trace drops a torn tail.
+                    self._fh = self.path.open("wb", buffering=0)  # repro: ignore[RPR008] -- append-only JSONL sink; load_trace tolerates a torn tail
+                line = json.dumps(record, default=_jsonable) + "\n"
+                self._fh.write(line.encode("utf-8"))
 
     def flush(self) -> None:
+        """Force records to disk (fsync; writes are already unbuffered)."""
         with self._lock:
             if self._fh is not None:
-                self._fh.flush()
+                os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         with self._lock:
@@ -198,20 +204,29 @@ class SpanRecord(dict):
 
 
 def load_trace(path) -> list[SpanRecord]:
-    """Parse a JSONL trace file; raises ValueError on malformed lines."""
+    """Parse a JSONL trace file; raises ValueError on malformed lines.
+
+    A malformed *final* line is dropped instead: the tracer writes one
+    record per syscall, so a crashed process can leave at most a torn
+    tail — that must not make the rest of the trace unreadable.
+    """
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        lines = [(lineno, line.strip()) for lineno, line in enumerate(fh, 1)]
+    lines = [(lineno, line) for lineno, line in lines if line]
     records: list[SpanRecord] = []
-    with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                obj = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})") from None
-            if not isinstance(obj, dict) or "type" not in obj:
-                raise ValueError(f"{path}:{lineno}: trace records must be objects with 'type'")
-            records.append(SpanRecord(obj))
+    for i, (lineno, line) in enumerate(lines):
+        is_tail = i == len(lines) - 1
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if is_tail:
+                break  # torn tail from an interrupted write
+            raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})") from None
+        if not isinstance(obj, dict) or "type" not in obj:
+            if is_tail:
+                break
+            raise ValueError(f"{path}:{lineno}: trace records must be objects with 'type'")
+        records.append(SpanRecord(obj))
     return records
 
 

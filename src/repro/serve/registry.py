@@ -22,6 +22,7 @@ from ..core.zoo import (
     inspect_checkpoint,
     load_model,
 )
+from ..utils.artifacts import verify_manifest
 
 __all__ = ["LoadedModel", "ModelRegistry", "ModelNotFound"]
 
@@ -53,6 +54,13 @@ class ModelRegistry:
         recently used entry is evicted beyond that.
     dtype:
         Weight dtype passed through to :func:`repro.core.load_model`.
+    require_manifest:
+        When True the registry refuses models without a
+        checksum-verified integrity manifest — serving never answers
+        from weights whose provenance cannot be proven.  When False
+        (default, for legacy checkpoints) a *missing* sidecar is
+        tolerated, but a failing one is always refused: a checkpoint
+        whose bytes contradict its own manifest is corrupt, not legacy.
 
     Names are resolved through explicit aliases first
     (:meth:`register`), then treated as filesystem paths.  ``get``
@@ -60,11 +68,13 @@ class ModelRegistry:
     the serving ``/stats`` endpoint.
     """
 
-    def __init__(self, capacity: int = 4, dtype=np.float64):
+    def __init__(self, capacity: int = 4, dtype=np.float64,
+                 require_manifest: bool = False):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
         self.dtype = dtype
+        self.require_manifest = bool(require_manifest)
         self._aliases: dict[str, Path] = {}
         self._cache: OrderedDict[Path, LoadedModel] = OrderedDict()
         self._lock = threading.RLock()
@@ -74,10 +84,17 @@ class ModelRegistry:
 
     # -- name handling -------------------------------------------------
     def register(self, name: str, path) -> None:
-        """Alias ``name`` to a checkpoint path (validated to exist)."""
+        """Alias ``name`` to a checkpoint path.
+
+        The path must exist and pass integrity verification (see
+        ``require_manifest``) — refusing an unverifiable model at
+        registration beats discovering the corruption on the first
+        inference request.
+        """
         path = Path(path)
         if not path.is_file():
             raise CheckpointError(f"{path}: checkpoint file does not exist")
+        verify_manifest(path, required=self.require_manifest)
         with self._lock:
             self._aliases[name] = path
 
@@ -113,6 +130,9 @@ class ModelRegistry:
                 self.invalidations += 1
                 del self._cache[path]
             self.misses += 1
+            # load_model re-verifies when a sidecar exists; this adds the
+            # strict "no manifest, no service" policy when configured.
+            verify_manifest(path, required=self.require_manifest)
             model, config, normalizer = load_model(path, dtype=self.dtype)
             entry = LoadedModel(
                 name=name,

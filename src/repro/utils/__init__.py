@@ -1,6 +1,18 @@
 """Shared utilities: RNG fan-out, timing, crash-safe I/O, parallel map."""
 
-from .artifacts import CheckpointError, atomic_write_npz, guarded_npz_load
+from .artifacts import (
+    CheckpointError,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_npz,
+    guarded_npz_load,
+    load_manifest,
+    manifest_path,
+    sha256_file,
+    stable_hash,
+    verify_manifest,
+    write_manifest,
+)
 from .parallel import default_workers, parallel_map
 from .rng import as_generator, spawn_rngs
 from .timing import LatencyStats, Timer, timed
@@ -8,5 +20,8 @@ from .timing import LatencyStats, Timer, timed
 __all__ = [
     "parallel_map", "default_workers", "spawn_rngs", "as_generator",
     "Timer", "timed", "LatencyStats",
-    "CheckpointError", "atomic_write_npz", "guarded_npz_load",
+    "CheckpointError", "atomic_write_npz", "atomic_write_bytes",
+    "atomic_write_json", "guarded_npz_load",
+    "sha256_file", "stable_hash", "manifest_path",
+    "write_manifest", "load_manifest", "verify_manifest",
 ]

@@ -19,6 +19,8 @@ class TestScenarios:
             "shard_resilience",
             "serve_faults",
             "rollout_guard",
+            "pipeline_resume",
+            "supervisor_kill",
         }
 
     @pytest.mark.parametrize("name", sorted(SCENARIOS))

@@ -79,6 +79,12 @@ FIXTURES = {
         "        except Exception:\n"
         "            continue\n",
     ),
+    "RPR008": (
+        "src/repro/core/fixture_artifacts.py",
+        "import numpy as np\n"
+        "def f(path, x):\n"
+        "    np.savez_compressed(path, x=x)\n",
+    ),
 }
 
 
@@ -97,6 +103,7 @@ def _write_fixture(tmp_path: Path, rule: str, suppress: bool = False) -> Path:
             "RPR005": "except:",
             "RPR006": "time.time()",
             "RPR007": "while True:",
+            "RPR008": "np.savez_compressed",
         }[rule]
         lines = [
             line + f"  # repro: ignore[{rule}] -- seeded fixture" if anchor in line else line
@@ -285,6 +292,7 @@ class TestCLI:
         out = capsys.readouterr().out
         for rule_id in (
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007",
+            "RPR008",
         ):
             assert rule_id in out
 

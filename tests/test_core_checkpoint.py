@@ -87,3 +87,37 @@ class TestCheckpoint:
         fresh = _trainer(epochs=5)
         fresh.load_checkpoint(path)
         assert fresh.epochs_completed == 5  # final checkpoint covers the last epoch
+
+    def test_epoch_template_writes_per_epoch_files(self, tmp_path):
+        X, Y = _problem()
+        trainer = _trainer(epochs=3)
+        trainer.fit(X, Y, checkpoint_path=tmp_path / "ckpt_{epoch:05d}.npz",
+                    checkpoint_every=1)
+        names = sorted(p.name for p in tmp_path.glob("ckpt_*.npz"))
+        assert names == ["ckpt_00001.npz", "ckpt_00002.npz", "ckpt_00003.npz"]
+        # Every checkpoint carries its integrity manifest sidecar.
+        assert all((tmp_path / (n + ".manifest.json")).exists() for n in names)
+
+    def test_config_hash_mismatch_is_rejected_before_mutation(self, tmp_path):
+        from repro.utils.artifacts import CheckpointError
+
+        X, Y = _problem()
+        trainer = _trainer(epochs=2)
+        trainer.fit(X, Y)
+        path = tmp_path / "ckpt.npz"
+        trainer.save_checkpoint(path)
+
+        cfg = ChannelFNOConfig(n_in=1, n_out=1, n_fields=2, modes1=3, modes2=3,
+                               width=6, n_layers=2)
+        other = Trainer(
+            build_fno2d_channels(cfg, rng=np.random.default_rng(0)),
+            TrainingConfig(epochs=2, batch_size=4, learning_rate=1e-4, seed=1),
+        )  # not the optimisation config that wrote the checkpoint
+        with pytest.raises(CheckpointError, match="config hash"):
+            other.load_checkpoint(path)
+        # The rejection happened before any state was applied.
+        assert other.epochs_completed == 0 and other.history.train_loss == []
+
+    def test_config_hash_ignores_epochs(self):
+        a, b = _trainer(epochs=2), _trainer(epochs=50)
+        assert a.config_hash() == b.config_hash()

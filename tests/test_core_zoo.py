@@ -16,6 +16,7 @@ from repro.core import (
 )
 from repro.data import FieldNormalizer
 from repro.tensor import Tensor, no_grad
+from repro.utils.artifacts import manifest_path
 
 RNG = np.random.default_rng(191)
 
@@ -93,6 +94,9 @@ def test_unknown_kind_rejected(tmp_path):
     header["config"]["kind"] = "transformer"
     arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
     np.savez_compressed(path, **arrays)
+    # The in-place rewrite invalidates the integrity manifest, which is
+    # checked first; drop the sidecar to reach the kind check under test.
+    manifest_path(path).unlink()
     with pytest.raises(CheckpointError, match="unknown model kind"):
         load_model(path)
 
@@ -135,6 +139,7 @@ class TestCheckpointErrors:
         header["version"] = 99
         arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
         np.savez_compressed(path, **arrays)
+        manifest_path(path).unlink()  # reach the version check, not the checksum
         with pytest.raises(CheckpointError, match="version 99"):
             load_model(path)
         with pytest.raises(CheckpointError, match=str(path)):

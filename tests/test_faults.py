@@ -362,7 +362,10 @@ class TestAtomicArtifacts:
         atomic_write_npz(path, {"x": np.arange(3)})
         with guarded_npz_load(path) as data:
             assert np.array_equal(data["x"], np.arange(3))
-        assert [p.name for p in tmp_path.iterdir()] == ["a.npz"]
+        # Artifact + manifest sidecar, and no leftover temp file.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "a.npz", "a.npz.manifest.json",
+        ]
 
     def test_crash_fault_leaves_destination_untouched(self, tmp_path):
         path = tmp_path / "a.npz"
@@ -372,7 +375,9 @@ class TestAtomicArtifacts:
             with pytest.raises(InjectedFault):
                 atomic_write_npz(path, {"x": np.arange(9)}, site="checkpoint.write")
         assert path.read_bytes() == before
-        assert [p.name for p in tmp_path.iterdir()] == ["a.npz"]
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "a.npz", "a.npz.manifest.json",
+        ]
 
     def test_partial_write_fails_typed_on_load(self, tmp_path):
         path = tmp_path / "torn.npz"

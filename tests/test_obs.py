@@ -249,11 +249,23 @@ class TestTraceRoundTrip:
         assert "mark" in out
 
     def test_malformed_trace_is_an_error(self, tmp_path, capsys):
+        # Mid-file garbage is corruption and must raise ...
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"type": "span"}\nnot json\n')
+        path.write_text('{"type": "span"}\nnot json\n{"type": "event"}\n')
         with pytest.raises(ValueError):
             load_trace(path)
         assert cli_main(["trace", str(path)]) == 2
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        # ... but a torn *final* line is what a crashed writer leaves
+        # behind, and must not make the rest of the trace unreadable.
+        path = tmp_path / "torn.jsonl"
+        self._write_trace(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-7])  # tear the last record mid-line
+        whole = load_trace(path)
+        assert whole and whole[0]["type"] == "meta"
+        assert all("type" in r for r in whole)
 
     def test_profile_cli_runs_script_and_writes_trace(self, tmp_path, capsys):
         script = tmp_path / "tiny.py"

@@ -114,6 +114,30 @@ class TestRegistry:
         entry = reg.get(str(checkpoint))
         assert entry.config == CFG
 
+    def test_require_manifest_refuses_unverifiable_models(self, checkpoint, tmp_path):
+        from repro.core import CheckpointError
+
+        reg = ModelRegistry(require_manifest=True)
+        reg.register("tiny", checkpoint)  # save_model wrote a sidecar
+        assert reg.get("tiny").config == CFG
+
+        bare = tmp_path / "bare.npz"
+        bare.write_bytes(checkpoint.read_bytes())  # same model, no sidecar
+        with pytest.raises(CheckpointError, match="no integrity manifest"):
+            reg.register("bare", bare)
+
+    def test_require_manifest_catches_tampering(self, checkpoint, tmp_path):
+        from repro.core import CheckpointError
+        from repro.utils.artifacts import manifest_path
+
+        tampered = tmp_path / "tampered.npz"
+        blob = bytearray(checkpoint.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        tampered.write_bytes(blob)
+        manifest_path(tampered).write_text(manifest_path(checkpoint).read_text())
+        with pytest.raises(CheckpointError, match="sha256|size"):
+            ModelRegistry(require_manifest=True).register("bad", tampered)
+
     def test_list_models_reports_config(self, checkpoint):
         reg = ModelRegistry()
         reg.register("tiny", checkpoint)
