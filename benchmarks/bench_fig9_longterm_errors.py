@@ -19,6 +19,7 @@ error figure keeps the partner resolution-matched.
 import numpy as np
 
 from common import DATA_CONFIG, cached_channel_model, print_table, split_dataset, write_results
+from repro import compile as rcompile
 from repro.analysis import percentage_error
 from repro.core import (
     ChannelFNOConfig,
@@ -62,6 +63,9 @@ def run_fig9():
         d = rec.diagnostics()
         out[f"ke_err_{name}"] = percentage_error(d["kinetic_energy"], d_ref["kinetic_energy"])
         out[f"ens_err_{name}"] = percentage_error(d["enstrophy"], d_ref["enstrophy"])
+    # Every FNO step above ran through apply_channels, which compiles the
+    # forward automatically; publish the plan-cache evidence with the run.
+    out["compile"] = rcompile.stats()
     return out
 
 

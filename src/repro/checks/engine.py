@@ -14,6 +14,7 @@ from pathlib import Path, PurePosixPath
 from .baseline import Baseline
 from .findings import CheckResult, Finding
 from .registry import (
+    COMPILE_ZONE,
     HOT_ZONE,
     OTHER_ZONE,
     SOLVER_ZONE,
@@ -36,6 +37,8 @@ def classify_zone(relpath: str) -> str:
     name = parts[-1] if parts else ""
     if "tests" in parts or name.startswith("test_") or name == "conftest.py":
         return TEST_ZONE
+    if "compile" in parts:
+        return COMPILE_ZONE
     if _HOT_PARTS & set(parts):
         return HOT_ZONE
     if _SOLVER_PARTS & set(parts):

@@ -20,6 +20,7 @@ __all__ = ["FileContext", "RuleSpec", "rule", "all_rules", "get_rule"]
 # hazard actually applies (see classify_zone in engine.py).
 HOT_ZONE = "hot"        # nn/, serve/, tensor/ — the float32 serving path
 SOLVER_ZONE = "solver"  # ns/, ns3d/, lbm/ — float64 numerics by design
+COMPILE_ZONE = "compile"  # compile/ — plan-executed closures, allocation-free
 TEST_ZONE = "test"
 OTHER_ZONE = "other"
 

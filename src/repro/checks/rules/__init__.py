@@ -10,8 +10,11 @@
 | RPR006 | obs-hygiene        | wall-clock durations, spans entered without with |
 | RPR007 | resilience-hygiene | unbounded while-True retries, swallow-and-continue |
 | RPR008 | artifact-integrity | raw np.savez / open-"wb" writes bypassing manifests |
+| RPR009 | compile-alloc-hygiene | fresh allocations / Tensor tape in plan-executed hot paths |
 """
 
-from . import api, artifacts, dtype, faults, numerics, obs, rng, threads  # noqa: F401
+from . import api, artifacts, compile, dtype, faults, numerics, obs, rng, threads  # noqa: F401
 
-__all__ = ["api", "artifacts", "dtype", "faults", "numerics", "obs", "rng", "threads"]
+__all__ = [
+    "api", "artifacts", "compile", "dtype", "faults", "numerics", "obs", "rng", "threads",
+]

@@ -135,6 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_verify_arguments(v)
 
+    co = sub.add_parser(
+        "compile", help="trace a checkpoint and print its inference plan"
+    )
+    from repro.compile.cli import add_compile_arguments
+
+    add_compile_arguments(co)
+
     c = sub.add_parser("check", help="run the repro static-analysis rule pack")
     from repro.checks.cli import add_check_arguments
 
@@ -371,6 +378,12 @@ def _cmd_verify(args) -> int:
     return run_verify(args)
 
 
+def _cmd_compile(args) -> int:
+    from repro.compile.cli import run_compile
+
+    return run_compile(args)
+
+
 def _cmd_check(args) -> int:
     from repro.checks.cli import run_check
 
@@ -402,6 +415,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "inspect": _cmd_inspect,
     "serve": _cmd_serve,
+    "compile": _cmd_compile,
     "run": _cmd_run,
     "resume": _cmd_resume,
     "verify": _cmd_verify,

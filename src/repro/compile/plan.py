@@ -1,0 +1,377 @@
+"""Execution plans: from a recorded op schedule to a frozen runnable.
+
+A :class:`CompiledPlan` is the compiled artifact for one
+``(model, batch_shape, dtype)``: an ordered list of step closures, a
+buffer :class:`~repro.compile.arena.Arena`, and a slot table mapping every
+traced intermediate to either a preallocated buffer (written with
+``out=``-style kernels) or a transient value produced fresh each call
+(FFT outputs, views).
+
+Guarantees:
+
+* **Bitwise equivalence.**  Every kernel replicates the eager op's
+  arithmetic exactly — same ufunc loops, same contraction order, same
+  scalar-promotion rules — so ``plan.execute(x)`` is bit-for-bit equal to
+  the no-grad eager forward (property-tested in ``tests/test_compile.py``).
+* **No aliasing of user-visible outputs.**  When the final value lives in
+  the arena (or is a view of it), :meth:`CompiledPlan.execute` returns a
+  copy; arena storage is never handed to callers.
+* **Weight coherence.**  Parameters are captured as *objects*, not
+  arrays: kernels read ``param.data`` at call time, so
+  ``load_state_dict`` (which replaces the data array) takes effect on the
+  next execution without retracing.
+
+Ops without a registered kernel (notably ``einsum``, used by DeepONet)
+raise :class:`UnsupportedOpError` at build time; the runtime records the
+failure and serves those models eagerly forever after.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..nn.module import Parameter
+from ..tensor.recording import Recorder
+from ..tensor.tensor import Tensor, asarray
+from .arena import Arena
+
+__all__ = [
+    "UnsupportedOpError",
+    "PlanMismatchError",
+    "Step",
+    "PlanBuilder",
+    "CompiledPlan",
+    "build_plan",
+]
+
+
+class UnsupportedOpError(RuntimeError):
+    """The traced schedule contains an op the compiler cannot execute."""
+
+
+class PlanMismatchError(RuntimeError):
+    """Input shape/dtype does not match what the plan was traced for."""
+
+
+@dataclass
+class Step:
+    """One executable step of a plan (metadata + run closure)."""
+
+    op: str
+    run: Callable[[list], None]
+    out_slot: int
+    out_shape: tuple[int, ...]
+    out_dtype: np.dtype
+    flops: int = 0
+    # True when the step writes a fresh per-call allocation (safe to hand
+    # to the caller); False for arena-backed outputs and views.
+    fresh: bool = False
+    kind: str = "transient"
+    alloc_bytes: int = 0
+
+
+@dataclass
+class _ArenaRequest:
+    slot: int
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    init: Callable[[np.ndarray], None] | None
+    reusable: bool
+
+
+class PlanBuilder:
+    """Mutable state threaded through the kernel builders.
+
+    Kernel builders use three services: :meth:`getter` (resolve an op
+    argument to a ``values``-list accessor, registering the read for
+    liveness), :meth:`request_arena` (claim a preallocated buffer for a
+    slot), and :meth:`scratch_slot` (a hidden arena slot not tied to any
+    traced tensor, e.g. the zero-initialised spectral mode buffer).
+    """
+
+    def __init__(self, recorder: Recorder, input_tensor: Tensor):
+        self.recorder = recorder
+        self.input_slot = 0
+        self.n_slots = 1
+        self._slot_of: dict[int, int] = {id(input_tensor): 0}
+        self.steps: list[Step] = []
+        self.step_reads: list[set[int]] = []
+        self.step_requests: list[list[_ArenaRequest]] = []
+        self._alias_root: dict[int, int] = {}
+        self._current_reads: set[int] = set()
+        self._current_requests: list[_ArenaRequest] = []
+
+    # -- slots ---------------------------------------------------------
+    def new_slot(self, tensor: Tensor | None = None) -> int:
+        slot = self.n_slots
+        self.n_slots += 1
+        if tensor is not None:
+            self._slot_of[id(tensor)] = slot
+        return slot
+
+    def slot_for(self, tensor: Tensor) -> int | None:
+        return self._slot_of.get(id(tensor))
+
+    def root(self, slot: int) -> int:
+        return self._alias_root.get(slot, slot)
+
+    def mark_view(self, out_slot: int, src_slot: int) -> None:
+        """Record that ``out_slot`` aliases ``src_slot``'s storage."""
+        self._alias_root[out_slot] = self.root(src_slot)
+
+    # -- argument resolution -------------------------------------------
+    def getter(self, value: Any) -> Callable[[list], np.ndarray]:
+        """Resolve an op argument to an accessor over the values list.
+
+        Traced intermediates become slot reads; parameters are read
+        through the live object (``.data`` at call time); anything else
+        is frozen as a constant — unless it was produced by an op that
+        escaped the trace, which would freeze one call's value into every
+        execution and is therefore rejected.
+        """
+        if isinstance(value, Tensor):
+            slot = self._slot_of.get(id(value))
+            if slot is not None:
+                self._current_reads.add(self.root(slot))
+                return _slot_getter(slot)
+            if isinstance(value, Parameter):
+                return _param_getter(value)
+            if self.recorder.saw_from_op(value):
+                raise UnsupportedOpError(
+                    "trace argument was produced outside the recorded op set "
+                    "(e.g. Tensor.astype); cannot freeze it as a plan constant"
+                )
+            return _const_getter(value.data)
+        return _const_getter(asarray(value))
+
+    # -- arena ---------------------------------------------------------
+    def request_arena(self, slot, shape, dtype, init=None, reusable: bool = True) -> None:
+        self._current_requests.append(
+            _ArenaRequest(slot, tuple(shape), np.dtype(dtype), init, reusable)
+        )
+
+    def scratch_slot(self, shape, dtype, init=None, reusable: bool = False) -> int:
+        slot = self.new_slot()
+        self.request_arena(slot, shape, dtype, init=init, reusable=reusable)
+        return slot
+
+    # -- step assembly (called by build_plan) --------------------------
+    def begin_step(self) -> None:
+        self._current_reads = set()
+        self._current_requests = []
+
+    def end_step(self, step: Step) -> None:
+        self.steps.append(step)
+        self.step_reads.append(self._current_reads)
+        self.step_requests.append(self._current_requests)
+
+
+def _slot_getter(slot: int) -> Callable[[list], np.ndarray]:
+    def get(values: list) -> np.ndarray:
+        return values[slot]
+
+    return get
+
+
+def _param_getter(param: Parameter) -> Callable[[list], np.ndarray]:
+    def get(values: list) -> np.ndarray:
+        return param.data
+
+    return get
+
+
+def _const_getter(arr: np.ndarray) -> Callable[[list], np.ndarray]:
+    def get(values: list) -> np.ndarray:
+        return arr
+
+    return get
+
+
+def build_plan(
+    recorder: Recorder,
+    input_tensor: Tensor,
+    output_tensor: Tensor,
+    model_name: str = "model",
+) -> "CompiledPlan":
+    """Lower a recorded schedule into a :class:`CompiledPlan`."""
+    from .kernels import KERNELS  # late import: kernels imports this module
+
+    if not recorder.records:
+        raise UnsupportedOpError("trace recorded no ops (nothing to compile)")
+
+    builder = PlanBuilder(recorder, input_tensor)
+    for rec in recorder.records:
+        build = KERNELS.get(rec.op)
+        if build is None:
+            raise UnsupportedOpError(f"op {rec.op!r} has no compiled kernel")
+        out_slot = builder.new_slot(rec.out)
+        builder.begin_step()
+        step = build(builder, rec, out_slot)
+        builder.end_step(step)
+
+    output_slot = builder.slot_for(output_tensor)
+    if output_slot is None:
+        raise UnsupportedOpError("model output was not produced by a traced op")
+
+    # ---- liveness: last step reading each root slot -------------------
+    last_read: dict[int, int] = {}
+    for i, reads in enumerate(builder.step_reads):
+        for slot in reads:
+            last_read[slot] = i
+    # The final output must survive the whole schedule.
+    last_read[builder.root(output_slot)] = len(builder.steps)
+
+    # ---- buffer assignment with free-list reuse -----------------------
+    arena = Arena()
+    buffer_of: dict[int, int] = {}
+    slot_of_buffer: dict[int, int] = {}
+    free: dict[tuple, list[int]] = {}
+
+    def _key(shape, dtype) -> tuple:
+        return (tuple(shape), np.dtype(dtype).str)
+
+    for i, step in enumerate(builder.steps):
+        for req in builder.step_requests[i]:
+            key = _key(req.shape, req.dtype)
+            bid: int | None = None
+            if req.reusable and req.init is None:
+                pool = free.get(key)
+                if pool:
+                    bid = pool.pop()
+                    arena.reuse_count += 1
+            if bid is None:
+                bid = arena.add(req.shape, req.dtype, req.init, req.reusable)
+                step.alloc_bytes += arena.specs[bid].nbytes
+            buffer_of[req.slot] = bid
+            slot_of_buffer[bid] = req.slot
+        # Release buffers whose final reader just ran.  Outputs of this
+        # step were assigned above, before any release, so a step's
+        # output buffer can never alias one of its own inputs.
+        for slot in builder.step_reads[i]:
+            if last_read.get(slot) != i:
+                continue
+            bid = buffer_of.get(slot)
+            if bid is None:
+                continue
+            spec = arena.specs[bid]
+            if spec.reusable and spec.init is None:
+                free.setdefault(_key(spec.shape, spec.dtype), []).append(bid)
+
+    output_step = next(s for s in builder.steps if s.out_slot == output_slot)
+    return CompiledPlan(
+        model_name=model_name,
+        input_shape=tuple(input_tensor.data.shape),
+        input_dtype=np.dtype(input_tensor.data.dtype),
+        steps=builder.steps,
+        arena=arena,
+        buffer_of=buffer_of,
+        n_slots=builder.n_slots,
+        input_slot=builder.input_slot,
+        output_slot=output_slot,
+        output_fresh=output_step.fresh,
+    )
+
+
+class CompiledPlan:
+    """A frozen, repeatedly executable forward pass.
+
+    Thread-safe: buffer sets are materialised per executing thread (serve
+    workers share one plan), while step closures, parameters, and
+    constants are shared read-only.
+    """
+
+    def __init__(
+        self,
+        model_name: str,
+        input_shape: tuple[int, ...],
+        input_dtype: np.dtype,
+        steps: list[Step],
+        arena: Arena,
+        buffer_of: dict[int, int],
+        n_slots: int,
+        input_slot: int,
+        output_slot: int,
+        output_fresh: bool,
+    ):
+        self.model_name = model_name
+        self.input_shape = input_shape
+        self.input_dtype = input_dtype
+        self.steps = steps
+        self.arena = arena
+        self.buffer_of = buffer_of
+        self.n_slots = n_slots
+        self.input_slot = input_slot
+        self.output_slot = output_slot
+        self.output_fresh = output_fresh
+        self.executions = 0
+        self._runs = [step.run for step in steps]
+        self._tls = threading.local()
+
+    # ------------------------------------------------------------------
+    def _template(self) -> list:
+        template = getattr(self._tls, "template", None)
+        if template is None:
+            buffers = self.arena.materialize()
+            template = [None] * self.n_slots
+            for slot, bid in self.buffer_of.items():
+                template[slot] = buffers[bid]
+            self._tls.template = template
+        return template
+
+    def execute(self, x: np.ndarray) -> np.ndarray:
+        """Run the plan on ``x``; returns an array the caller owns."""
+        if x.shape != self.input_shape or x.dtype != self.input_dtype:
+            raise PlanMismatchError(
+                f"plan traced for {self.input_shape}/{self.input_dtype}, "
+                f"got {x.shape}/{x.dtype}"
+            )
+        values = self._template().copy()
+        values[self.input_slot] = x
+        for run in self._runs:
+            run(values)
+        self.executions += 1
+        out = values[self.output_slot]
+        if self.output_fresh:
+            return out
+        # Arena-backed (or view) result: the caller must never hold arena
+        # storage, or the next execute() would overwrite their output.
+        result = np.empty_like(out)
+        np.copyto(result, out)
+        return result
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return self.arena.nbytes
+
+    @property
+    def flops(self) -> int:
+        return sum(step.flops for step in self.steps)
+
+    def describe(self) -> dict:
+        """Plan summary for the ``repro compile`` CLI and stats endpoints."""
+        return {
+            "model": self.model_name,
+            "input_shape": list(self.input_shape),
+            "input_dtype": str(self.input_dtype),
+            "n_steps": len(self.steps),
+            "arena_bytes": self.arena.nbytes,
+            "n_buffers": len(self.arena),
+            "buffers_reused": self.arena.reuse_count,
+            "est_flops": self.flops,
+            "steps": [
+                {
+                    "op": step.op,
+                    "out_shape": list(step.out_shape),
+                    "out_dtype": str(step.out_dtype),
+                    "kind": step.kind,
+                    "arena_bytes": step.alloc_bytes,
+                    "est_flops": step.flops,
+                }
+                for step in self.steps
+            ],
+        }

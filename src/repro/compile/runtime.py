@@ -1,0 +1,214 @@
+"""The plan cache and the eager-fallback inference entry point.
+
+:func:`forward` is the single integration point used by
+``core.rollout.apply_channels`` (and therefore by rollouts, hybrid runs,
+serving, and the benchmarks): it returns the compiled no-grad forward
+output for ``(model, x)``, tracing a plan on first sight of a
+``(batch_shape, dtype)`` key, or ``None`` when the caller should run the
+eager path (compilation disabled, unsupported model, or a mid-flight
+execution failure).
+
+Cache structure and coherence:
+
+* Keys are weak on the model object — plans die with their model, so the
+  serve registry's LRU/mtime eviction drops plan memory automatically
+  once its hook (``serve.registry``) calls :func:`invalidate`.
+* Per model, plans are kept in a small LRU keyed by
+  ``(batch_shape, dtype)``; unseen shapes trace a new plan rather than
+  failing, and models whose trace is uncompilable are negatively cached
+  so the fallback check costs one dict probe.
+
+Enable/disable with ``REPRO_COMPILE`` (default on; ``0``/``off``/
+``false`` disables) or :func:`set_enabled` at runtime.  Observability:
+``compile.trace`` spans around plan builds and
+``compile_{hits,traces,fallbacks}_total`` counters (no-ops unless
+:mod:`repro.obs` is configured; the cache keeps its own counters for
+``stats()``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from collections import OrderedDict
+
+import numpy as np
+
+from .. import obs
+from .plan import CompiledPlan, PlanMismatchError, UnsupportedOpError
+from .tracer import trace_model
+
+__all__ = [
+    "PlanCache",
+    "plan_cache",
+    "forward",
+    "invalidate",
+    "clear",
+    "stats",
+    "enabled",
+    "set_enabled",
+]
+
+# Sentinel for models whose trace could not be compiled (eager forever).
+_UNSUPPORTED = object()
+
+
+def _env_enabled(environ=os.environ) -> bool:
+    return environ.get("REPRO_COMPILE", "1").strip().lower() not in ("0", "off", "false")
+
+
+class PlanCache:
+    """Weak-keyed, per-model-LRU cache of compiled plans."""
+
+    def __init__(self, max_plans_per_model: int = 8, enabled: bool | None = None):
+        self.max_plans_per_model = int(max_plans_per_model)
+        self.enabled = _env_enabled() if enabled is None else bool(enabled)
+        self._plans: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.traces = 0
+        self.fallbacks = 0
+        self.shape_evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def forward(self, model, x: np.ndarray) -> np.ndarray | None:
+        """Compiled no-grad forward, or None when the caller must run eager."""
+        if not self.enabled:
+            return None
+        key = (x.shape, x.dtype.str)
+        with self._lock:
+            per_model = self._plans.get(model)
+            entry = None
+            if per_model is not None:
+                entry = per_model.get(key)
+                if entry is None and _UNSUPPORTED in per_model:
+                    entry = _UNSUPPORTED
+                elif entry is not None:
+                    per_model.move_to_end(key)
+
+        if entry is _UNSUPPORTED:
+            self._count_fallback()
+            return None
+        if entry is not None:
+            try:
+                out = entry.execute(x)
+            except (PlanMismatchError, ValueError, TypeError):
+                # Defensive: a plan that stopped matching its model (e.g.
+                # weights swapped to a different width) is dropped and the
+                # request served eagerly; the next call retraces.
+                with self._lock:
+                    per_model = self._plans.get(model)
+                    if per_model is not None:
+                        per_model.pop(key, None)
+                self._count_fallback()
+                return None
+            with self._lock:
+                self.hits += 1
+            obs.metric_counter("compile_hits_total")
+            return out
+
+        # Miss: trace now.  The traced forward *is* this request's eager
+        # forward, so the first call costs one forward plus lowering.
+        with obs.span("compile.trace", model=type(model).__name__,
+                      shape=str(tuple(x.shape)), dtype=str(x.dtype)):
+            try:
+                plan, out = trace_model(model, x)
+            except UnsupportedOpError:
+                with self._lock:
+                    self._plans.setdefault(model, OrderedDict())[_UNSUPPORTED] = True
+                self._count_fallback()
+                return None
+        with self._lock:
+            per_model = self._plans.setdefault(model, OrderedDict())
+            per_model[key] = plan
+            per_model.move_to_end(key)
+            while len(per_model) > self.max_plans_per_model:
+                per_model.popitem(last=False)
+                self.shape_evictions += 1
+            self.traces += 1
+        obs.metric_counter("compile_traces_total")
+        return out
+
+    def _count_fallback(self) -> None:
+        with self._lock:
+            self.fallbacks += 1
+        obs.metric_counter("compile_fallbacks_total")
+
+    # ------------------------------------------------------------------
+    def plan_for(self, model, x: np.ndarray) -> CompiledPlan | None:
+        """The cached plan for ``(model, x.shape, x.dtype)``, if any."""
+        key = (x.shape, x.dtype.str)
+        with self._lock:
+            per_model = self._plans.get(model)
+            entry = per_model.get(key) if per_model is not None else None
+        return entry if isinstance(entry, CompiledPlan) else None
+
+    def invalidate(self, model) -> int:
+        """Drop every plan for ``model``; returns how many were dropped."""
+        with self._lock:
+            per_model = self._plans.pop(model, None)
+            dropped = len(per_model) if per_model is not None else 0
+            if dropped:
+                self.invalidations += dropped
+        return dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            per_model_counts = [
+                sum(1 for k in plans if k is not _UNSUPPORTED)
+                for plans in self._plans.values()
+            ]
+            return {
+                "enabled": self.enabled,
+                "models": len(per_model_counts),
+                "plans": sum(per_model_counts),
+                "hits": self.hits,
+                "traces": self.traces,
+                "fallbacks": self.fallbacks,
+                "shape_evictions": self.shape_evictions,
+                "invalidations": self.invalidations,
+            }
+
+
+# ---------------------------------------------------------------------------
+# process-wide cache + module-level convenience API
+# ---------------------------------------------------------------------------
+
+_CACHE = PlanCache()
+
+
+def plan_cache() -> PlanCache:
+    """The process-wide plan cache."""
+    return _CACHE
+
+
+def forward(model, x: np.ndarray) -> np.ndarray | None:
+    """Compiled forward through the process cache (None -> run eager)."""
+    return _CACHE.forward(model, x)
+
+
+def invalidate(model) -> int:
+    """Drop compiled plans for ``model`` (serve registry eviction hook)."""
+    return _CACHE.invalidate(model)
+
+
+def clear() -> None:
+    _CACHE.clear()
+
+
+def stats() -> dict:
+    return _CACHE.stats()
+
+
+def enabled() -> bool:
+    return _CACHE.enabled
+
+
+def set_enabled(value: bool) -> None:
+    _CACHE.enabled = bool(value)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import obs
+from ..compile import runtime as _compile
 from ..faults import injection as _faults
 from ..faults.policy import DivergenceGuard, RolloutDiverged
 from ..nn import Module
@@ -27,12 +28,20 @@ def apply_channels(model: Module, x: np.ndarray, normalizer=None) -> np.ndarray:
     given), runs the model under ``no_grad`` and decodes the prediction
     back.  This is the single forward pass shared by the roll-out
     drivers, the hybrid scheme and the serving micro-batcher.
+
+    The forward goes through the inference compiler when possible: a
+    cached :class:`repro.compile.CompiledPlan` (bit-for-bit equal to the
+    eager no-grad forward) skips autograd dispatch and per-op
+    allocations.  Unsupported models or disabled compilation
+    (``REPRO_COMPILE=0``) fall back to the eager path below.
     """
     if normalizer is not None:
         x = normalizer.encode(x)
     model.eval()
-    with no_grad():
-        pred = model(Tensor(x)).numpy()
+    pred = _compile.forward(model, np.asarray(x))
+    if pred is None:
+        with no_grad():
+            pred = model(Tensor(x)).numpy()
     if normalizer is not None:
         pred = normalizer.decode(pred)
     return pred

@@ -20,6 +20,7 @@ import time
 import numpy as np
 
 from .. import obs
+from ..compile import runtime as _compile
 from ..core.config import HybridConfig
 from ..core.hybrid import run_hybrid_batched, run_pure_fno_batched
 from ..faults import injection as _faults
@@ -299,6 +300,7 @@ class InferenceService:
             queue_depth=self.queue.depth(),
             extra={
                 "registry": self.registry.stats(),
+                "compile": _compile.stats(),
                 "policy": {
                     "max_batch": self.policy.max_batch,
                     "max_wait_ms": self.policy.max_wait_ms,

@@ -9,10 +9,12 @@ Public surface:
   Fourier neural operator layers.
 """
 
-from . import fft_ops, ops
+from . import fft_ops, ops, recording
 from .fft_ops import (
     batch_invariant_enabled,
     batch_invariant_kernels,
+    fft_workers,
+    set_fft_workers,
     solenoidal_projection_2d,
     spectral_conv1d,
     spectral_conv2d,
@@ -60,8 +62,8 @@ from .tensor import Tensor, is_grad_enabled, no_grad, unbroadcast
 
 __all__ = [
     "Tensor", "no_grad", "is_grad_enabled", "unbroadcast",
-    "ops", "fft_ops", "spectral_conv1d", "spectral_conv2d", "spectral_conv3d", "solenoidal_projection_2d",
-    "batch_invariant_kernels", "batch_invariant_enabled",
+    "ops", "fft_ops", "recording", "spectral_conv1d", "spectral_conv2d", "spectral_conv3d", "solenoidal_projection_2d",
+    "batch_invariant_kernels", "batch_invariant_enabled", "fft_workers", "set_fft_workers",
     "add", "sub", "mul", "div", "neg", "pow_", "matmul", "einsum", "dot",
     "exp", "log", "sqrt", "tanh", "sigmoid", "relu", "gelu", "abs_", "sin",
     "cos", "clip", "reshape", "transpose", "moveaxis", "getitem", "pad",

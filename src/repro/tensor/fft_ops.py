@@ -28,6 +28,7 @@ in ``tests/test_fft_ops.py``.
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import contextmanager
 
@@ -37,6 +38,7 @@ import numpy as np
 # input to complex128), which matters for float32 serving throughput.
 from scipy import fft as _fft
 
+from .recording import traced as _traced
 from .tensor import Tensor
 
 __all__ = [
@@ -51,7 +53,45 @@ __all__ = [
     "mode_blocks_3d",
     "batch_invariant_kernels",
     "batch_invariant_enabled",
+    "fft_workers",
+    "set_fft_workers",
 ]
+
+
+# ---------------------------------------------------------------------------
+# scipy.fft worker configuration
+# ---------------------------------------------------------------------------
+
+def _parse_fft_workers(raw: str | None) -> int | None:
+    """``REPRO_FFT_WORKERS`` value -> worker count (None = scipy default)."""
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_FFT_WORKERS must be an integer, got {raw!r}") from None
+    return value if value > 0 else None
+
+
+# Passed as ``workers=`` to every pocketfft call below — by the eager ops,
+# their adjoints, and the compiled kernels in repro.compile, so the two
+# execution paths always run the same FFT configuration.
+_FFT_WORKERS: int | None = _parse_fft_workers(os.environ.get("REPRO_FFT_WORKERS"))
+
+
+def fft_workers() -> int | None:
+    """Current scipy.fft worker count (None means scipy's default)."""
+    return _FFT_WORKERS
+
+
+def set_fft_workers(workers: int | None) -> None:
+    """Override the worker count (None restores scipy's default).
+
+    Process-wide; compiled plans pick the new value up on their next
+    execution because kernels read this module's state at call time.
+    """
+    global _FFT_WORKERS
+    _FFT_WORKERS = None if workers is None else max(1, int(workers))
 
 
 class _BatchInvariantState(threading.local):
@@ -121,7 +161,7 @@ def irfftn_adjoint(g: np.ndarray, axes: tuple[int, ...], s: tuple[int, ...]) -> 
     """
     n_last = s[-1]
     n_total = float(np.prod(s))
-    G = _fft.rfftn(g, s=s, axes=axes)
+    G = _fft.rfftn(g, s=s, axes=axes, workers=_FFT_WORKERS)
     w = _broadcast_last(half_spectrum_weights(n_last, dtype=g.dtype), G.ndim)
     return G * (w / n_total)
 
@@ -135,7 +175,7 @@ def rfftn_adjoint(G: np.ndarray, axes: tuple[int, ...], s: tuple[int, ...]) -> n
     n_last = s[-1]
     n_total = float(np.prod(s))
     w = _broadcast_last(half_spectrum_weights(n_last, dtype=G.real.dtype), G.ndim)
-    return n_total * _fft.irfftn(G / w, s=s, axes=axes)
+    return n_total * _fft.irfftn(G / w, s=s, axes=axes, workers=_FFT_WORKERS)
 
 
 def mode_blocks_2d(n1: int, modes1: int, modes2: int) -> list[tuple[slice, slice]]:
@@ -200,7 +240,7 @@ def spectral_conv2d(x: Tensor, wr: Tensor, wi: Tensor, modes1: int, modes2: int)
         )
 
     axes, s = (-2, -1), (n1, n2)
-    X = _fft.rfftn(x.data, axes=axes)
+    X = _fft.rfftn(x.data, axes=axes, workers=_FFT_WORKERS)
     W = _complex_weights(wr.data, wi.data)
     ctype = np.complex64 if x.data.dtype == np.float32 else np.complex128
     Y = np.zeros((B, Cout, n1, m_half), dtype=ctype)
@@ -209,7 +249,7 @@ def spectral_conv2d(x: Tensor, wr: Tensor, wi: Tensor, modes1: int, modes2: int)
         Xb = X[:, :, blk[0], blk[1]]
         X_blocks.append(Xb)
         Y[:, :, blk[0], blk[1]] = _mode_einsum("bixy,ioxy->boxy", Xb, W[b])
-    y = _fft.irfftn(Y, s=s, axes=axes)
+    y = _fft.irfftn(Y, s=s, axes=axes, workers=_FFT_WORKERS)
 
     def backward(g: np.ndarray) -> None:
         GY = irfftn_adjoint(g, axes=axes, s=s)
@@ -248,13 +288,13 @@ def spectral_conv1d(x: Tensor, wr: Tensor, wi: Tensor, modes: int) -> Tensor:
     Cout = wr.data.shape[1]
 
     axes, s = (-1,), (n,)
-    X = _fft.rfftn(x.data, axes=axes)
+    X = _fft.rfftn(x.data, axes=axes, workers=_FFT_WORKERS)
     W = _complex_weights(wr.data, wi.data)
     ctype = np.complex64 if x.data.dtype == np.float32 else np.complex128
     Y = np.zeros((B, Cout, m_half), dtype=ctype)
     Xm = X[:, :, :modes]
     Y[:, :, :modes] = _mode_einsum("bix,iox->box", Xm, W)
-    y = _fft.irfftn(Y, s=s, axes=axes)
+    y = _fft.irfftn(Y, s=s, axes=axes, workers=_FFT_WORKERS)
 
     def backward(g: np.ndarray) -> None:
         GY = irfftn_adjoint(g, axes=axes, s=s)[:, :, :modes]
@@ -270,6 +310,19 @@ def spectral_conv1d(x: Tensor, wr: Tensor, wi: Tensor, modes: int) -> Tensor:
             x._accumulate(rfftn_adjoint(GX, axes=axes, s=s))
 
     return Tensor.from_op(y.astype(x.data.dtype, copy=False), (x, wr, wi), backward)
+
+
+# Wrapped at the bottom of the module once every op is defined.
+# Fused ops participate in trace recording like the generic primitives in
+# repro.tensor.ops (see repro.tensor.recording).  Rebinding here happens
+# before repro.tensor.__init__ re-exports the names, so every import path
+# resolves to the traced versions.
+def _wrap_traced_ops() -> None:
+    global spectral_conv1d, spectral_conv2d, spectral_conv3d, solenoidal_projection_2d
+    spectral_conv1d = _traced("spectral_conv1d", spectral_conv1d)
+    spectral_conv2d = _traced("spectral_conv2d", spectral_conv2d)
+    spectral_conv3d = _traced("spectral_conv3d", spectral_conv3d)
+    solenoidal_projection_2d = _traced("solenoidal_projection_2d", solenoidal_projection_2d)
 
 
 def _projection_multipliers(n1: int, n2: int, length: float, dtype):
@@ -295,6 +348,45 @@ def _projection_multipliers(n1: int, n2: int, length: float, dtype):
     return kx, ky, inv_k2
 
 
+# Multipliers are deterministic in (shape, length, dtype); cache them so
+# neither the eager op nor a compiled plan rebuilds wavenumber grids per
+# call.  Races at worst duplicate the computation of an identical value.
+_PROJ_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+
+def projection_multipliers(n1: int, n2: int, length: float, dtype):
+    """Cached :func:`_projection_multipliers` (arrays are shared; do not mutate)."""
+    key = (n1, n2, float(length), np.dtype(dtype).str)
+    cached = _PROJ_CACHE.get(key)
+    if cached is None:
+        cached = _PROJ_CACHE[key] = _projection_multipliers(n1, n2, length, dtype)
+    return cached
+
+
+def solenoidal_apply_2d(
+    arr: np.ndarray, kx: np.ndarray, ky: np.ndarray, inv_k2: np.ndarray
+) -> np.ndarray:
+    """Leray-project ``(B, 2S, n1, n2)`` velocity pairs (plain ndarray path).
+
+    Shared by the eager op below (forward and self-adjoint backward) and
+    by the compiled kernel in :mod:`repro.compile.kernels`, so both paths
+    run bit-identical arithmetic.
+    """
+    B, C, n1, n2 = arr.shape
+    axes, s = (-2, -1), (n1, n2)
+    spec = _fft.rfftn(arr.reshape(B, C // 2, 2, n1, n2), axes=axes, workers=_FFT_WORKERS)
+    k_dot_u = kx * spec[:, :, 0] + ky * spec[:, :, 1]
+    spec[:, :, 0] -= kx * k_dot_u * inv_k2
+    spec[:, :, 1] -= ky * k_dot_u * inv_k2
+    # Zero the Nyquist lines entirely (see _projection_multipliers).
+    if n1 % 2 == 0:
+        spec[:, :, :, n1 // 2, :] = 0.0
+    if n2 % 2 == 0:
+        spec[:, :, :, :, -1] = 0.0
+    out = _fft.irfftn(spec, s=s, axes=axes, workers=_FFT_WORKERS)
+    return out.reshape(B, C, n1, n2).astype(arr.dtype, copy=False)
+
+
 def solenoidal_projection_2d(x: Tensor, length: float = 2.0 * np.pi) -> Tensor:
     """Differentiable Leray projection of velocity pairs.
 
@@ -311,26 +403,12 @@ def solenoidal_projection_2d(x: Tensor, length: float = 2.0 * np.pi) -> Tensor:
     B, C, n1, n2 = x.data.shape
     if C % 2 != 0:
         raise ValueError("channel axis must hold (u_x, u_y) pairs")
-    kx, ky, inv_k2 = _projection_multipliers(n1, n2, length, x.data.dtype)
-    axes, s = (-2, -1), (n1, n2)
+    kx, ky, inv_k2 = projection_multipliers(n1, n2, length, x.data.dtype)
 
-    def _apply(arr: np.ndarray) -> np.ndarray:
-        spec = _fft.rfftn(arr.reshape(B, C // 2, 2, n1, n2), axes=axes)
-        k_dot_u = kx * spec[:, :, 0] + ky * spec[:, :, 1]
-        spec[:, :, 0] -= kx * k_dot_u * inv_k2
-        spec[:, :, 1] -= ky * k_dot_u * inv_k2
-        # Zero the Nyquist lines entirely (see _projection_multipliers).
-        if n1 % 2 == 0:
-            spec[:, :, :, n1 // 2, :] = 0.0
-        if n2 % 2 == 0:
-            spec[:, :, :, :, -1] = 0.0
-        out = _fft.irfftn(spec, s=s, axes=axes)
-        return out.reshape(B, C, n1, n2).astype(arr.dtype, copy=False)
-
-    y = _apply(x.data)
+    y = solenoidal_apply_2d(x.data, kx, ky, inv_k2)
 
     def backward(g: np.ndarray) -> None:
-        x._accumulate(_apply(g))
+        x._accumulate(solenoidal_apply_2d(g, kx, ky, inv_k2))
 
     return Tensor.from_op(y, (x,), backward)
 
@@ -359,7 +437,7 @@ def spectral_conv3d(
     Cout = wr.data.shape[2]
 
     axes, s = (-3, -2, -1), (n1, n2, n3)
-    X = _fft.rfftn(x.data, axes=axes)
+    X = _fft.rfftn(x.data, axes=axes, workers=_FFT_WORKERS)
     W = _complex_weights(wr.data, wi.data)
     ctype = np.complex64 if x.data.dtype == np.float32 else np.complex128
     Y = np.zeros((B, Cout, n1, n2, m_half), dtype=ctype)
@@ -368,7 +446,7 @@ def spectral_conv3d(
         Xb = X[:, :, blk[0], blk[1], blk[2]]
         X_blocks.append(Xb)
         Y[:, :, blk[0], blk[1], blk[2]] = _mode_einsum("bixyz,ioxyz->boxyz", Xb, W[b])
-    y = _fft.irfftn(Y, s=s, axes=axes)
+    y = _fft.irfftn(Y, s=s, axes=axes, workers=_FFT_WORKERS)
 
     def backward(g: np.ndarray) -> None:
         GY = irfftn_adjoint(g, axes=axes, s=s)
@@ -391,3 +469,6 @@ def spectral_conv3d(
             x._accumulate(rfftn_adjoint(GX, axes=axes, s=s))
 
     return Tensor.from_op(y.astype(x.data.dtype, copy=False), (x, wr, wi), backward)
+
+
+_wrap_traced_ops()

@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 from scipy import special as _sp_special
 
+from .recording import traced as _traced
 from .tensor import Tensor, unbroadcast
 
 __all__ = [
@@ -626,6 +627,27 @@ def var(a, axis=None, keepdims: bool = False) -> Tensor:
     mu = mean(a, axis=axis, keepdims=True)
     centered = sub(a, mu)
     return mean(square(centered), axis=axis, keepdims=keepdims)
+
+
+# ---------------------------------------------------------------------------
+# trace recording (inference compiler)
+# ---------------------------------------------------------------------------
+
+# Every primitive is wrapped so repro.compile can record op schedules (see
+# repro.tensor.recording).  ``var`` is deliberately excluded: it is a
+# composite whose output Tensor *is* its internal ``mean``'s output, and
+# wrapping it would record that tensor twice.  The dunders installed below
+# use late-binding lambdas, so they dispatch to the wrapped functions too.
+_TRACED_OPS = (
+    "add", "sub", "mul", "div", "neg", "pow_", "square", "matmul", "dot",
+    "einsum", "channel_linear", "exp", "log", "sqrt", "tanh", "sigmoid",
+    "relu", "gelu", "abs_", "sin", "cos", "clip", "maximum", "minimum",
+    "where", "reshape", "transpose", "moveaxis", "getitem", "pad",
+    "concatenate", "stack", "roll", "broadcast_to", "sum_", "mean",
+)
+for _name in _TRACED_OPS:
+    globals()[_name] = _traced(_name, globals()[_name])
+del _name
 
 
 # ---------------------------------------------------------------------------

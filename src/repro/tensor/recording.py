@@ -1,0 +1,146 @@
+"""Op-level trace recording for the inference compiler.
+
+:mod:`repro.compile` builds frozen execution plans by running a model's
+``forward`` once under a recording context and capturing the linear
+sequence of tensor primitives it executes.  This module owns the hook:
+every differentiable primitive in :mod:`repro.tensor.ops` and every fused
+spectral op in :mod:`repro.tensor.fft_ops` is wrapped with :func:`traced`
+at module-definition time, so the wrapped function *is* the public op —
+``from repro.tensor import gelu`` and the installed ``Tensor`` dunders
+both resolve to it.
+
+Design constraints:
+
+* **Zero overhead when idle.**  The wrapper costs one thread-local
+  attribute read per op call when no recorder is active; nothing else.
+* **Thread-local recording.**  A serve worker tracing a plan must never
+  observe ops executed by its siblings, so the active recorder lives in
+  ``threading.local`` state.
+* **Provenance safety.**  Tensors produced by *unwrapped* paths (e.g.
+  ``Tensor.astype``) would silently be captured as constants by the plan
+  builder, freezing one call's value into every future execution.  While
+  any recorder is active, :meth:`Tensor.from_op` is patched to tag every
+  op-produced tensor; the plan builder refuses to treat a tagged tensor
+  of unknown provenance as a constant and falls back to eager execution
+  instead.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .tensor import Tensor
+
+__all__ = ["TraceRecord", "Recorder", "traced", "recording_active"]
+
+
+@dataclass
+class TraceRecord:
+    """One primitive executed during a recorded forward pass."""
+
+    op: str
+    args: tuple
+    kwargs: dict
+    out: Tensor
+
+
+class _ActiveState(threading.local):
+    recorder: "Recorder | None" = None
+
+
+_ACTIVE = _ActiveState()
+
+# Identities of tensors produced by Tensor.from_op while any recorder was
+# live, shared across threads (see module docstring).  Guarded by _LOCK.
+_FROM_OP_IDS: set[int] = set()
+_LOCK = threading.Lock()
+_RECORDER_COUNT = 0
+_ORIG_FROM_OP: Callable | None = None
+
+
+def _tagging_from_op(data, parents, backward):
+    out = _ORIG_FROM_OP(data, parents, backward)
+    with _LOCK:
+        _FROM_OP_IDS.add(id(out))
+    return out
+
+
+def _install_from_op_tag() -> None:
+    global _RECORDER_COUNT, _ORIG_FROM_OP
+    with _LOCK:
+        if _RECORDER_COUNT == 0:
+            _ORIG_FROM_OP = Tensor.from_op
+            Tensor.from_op = staticmethod(_tagging_from_op)
+        _RECORDER_COUNT += 1
+
+
+def _remove_from_op_tag() -> None:
+    global _RECORDER_COUNT
+    with _LOCK:
+        _RECORDER_COUNT -= 1
+        if _RECORDER_COUNT == 0:
+            Tensor.from_op = staticmethod(_ORIG_FROM_OP)
+            _FROM_OP_IDS.clear()
+
+
+@dataclass
+class Recorder:
+    """Collects :class:`TraceRecord` entries for one forward pass.
+
+    Use as a context manager; at most one recorder per thread may be
+    active at a time (nested tracing is a programming error).
+    """
+
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def __enter__(self) -> "Recorder":
+        if _ACTIVE.recorder is not None:
+            raise RuntimeError("a trace recorder is already active on this thread")
+        _install_from_op_tag()
+        _ACTIVE.recorder = self
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _ACTIVE.recorder = None
+        _remove_from_op_tag()
+
+    def saw_from_op(self, tensor: Tensor) -> bool:
+        """Whether ``tensor`` was produced by an op while recording was live.
+
+        The plan builder uses this to distinguish genuine constants
+        (weights, cached grids — safe to freeze into a plan) from
+        intermediates whose producing op escaped the trace (unsafe).
+        """
+        with _LOCK:
+            return id(tensor) in _FROM_OP_IDS
+
+
+def recording_active() -> bool:
+    """Whether the current thread is inside a :class:`Recorder` context."""
+    return _ACTIVE.recorder is not None
+
+
+def traced(name: str, fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Wrap op ``fn`` so an active recorder captures each call.
+
+    The wrapper is transparent — same signature, same return value — and
+    records ``(name, args, kwargs, out)`` only when this thread holds an
+    active recorder.  Ops that call other wrapped ops internally simply
+    produce nested records; composite ops whose output *is* an internal
+    op's output (e.g. ``ops.var``) must not be wrapped, or the same
+    tensor would be recorded twice.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        recorder = _ACTIVE.recorder
+        out = fn(*args, **kwargs)
+        if recorder is not None and isinstance(out, Tensor):
+            recorder.records.append(TraceRecord(name, args, dict(kwargs), out))
+        return out
+
+    wrapper.__wrapped_op__ = name  # type: ignore[attr-defined]
+    return wrapper

@@ -85,6 +85,14 @@ FIXTURES = {
         "def f(path, x):\n"
         "    np.savez_compressed(path, x=x)\n",
     ),
+    "RPR009": (
+        "src/repro/compile/fixture_compile.py",
+        "import numpy as np\n"
+        "def build(out_slot):\n"
+        "    def run(values):\n"
+        "        values[out_slot] = np.zeros((4, 4))\n"
+        "    return run\n",
+    ),
 }
 
 
@@ -104,6 +112,7 @@ def _write_fixture(tmp_path: Path, rule: str, suppress: bool = False) -> Path:
             "RPR006": "time.time()",
             "RPR007": "while True:",
             "RPR008": "np.savez_compressed",
+            "RPR009": "np.zeros",
         }[rule]
         lines = [
             line + f"  # repro: ignore[{rule}] -- seeded fixture" if anchor in line else line
@@ -120,6 +129,7 @@ class TestZones:
         assert classify_zone("src/repro/serve/service.py") == "hot"
         assert classify_zone("src/repro/tensor/ops.py") == "hot"
         assert classify_zone("src/repro/ns/fields.py") == "solver"
+        assert classify_zone("src/repro/compile/kernels.py") == "compile"
         assert classify_zone("src/repro/ns3d/solver.py") == "solver"
         assert classify_zone("tests/test_checks.py") == "test"
         assert classify_zone("src/repro/core/training.py") == "other"

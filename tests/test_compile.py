@@ -1,0 +1,307 @@
+"""repro.compile — plan/eager equivalence, arena safety, cache coherence.
+
+The compiler's contract is strict: ``plan.execute(x)`` must be
+*bit-for-bit* identical to the eager no-grad forward, across model
+families, dtypes, batch shapes and the batch-invariant kernel context —
+and arena reuse must never leak shared storage into caller-visible
+outputs.  Everything here asserts exact equality, not allclose.
+"""
+
+import numpy as np
+import pytest
+
+from repro import compile as rc
+from repro.compile.plan import PlanMismatchError
+from repro.core.rollout import apply_channels
+from repro.nn import DeepONet2d, FNO1d, FNO2d, FNO3d
+from repro.tensor import fft_ops
+from repro.tensor.tensor import Tensor, no_grad
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan_cache():
+    rc.clear()
+    yield
+    rc.clear()
+
+
+def _eager(model, x):
+    model.eval()
+    with no_grad():
+        return model(Tensor(x)).data.copy()
+
+
+def _fno2d(rng_seed=0, **kw):
+    kw.setdefault("modes1", 6)
+    kw.setdefault("modes2", 6)
+    kw.setdefault("width", 6)
+    kw.setdefault("n_layers", 2)
+    kw.setdefault("projection_channels", 12)
+    return FNO2d(3, 2, rng=np.random.default_rng(rng_seed), **kw)
+
+
+# ---------------------------------------------------------------------------
+# bitwise equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_fno1d_bitwise(self, dtype):
+        model = FNO1d(2, 1, modes=6, width=8, n_layers=2,
+                      rng=np.random.default_rng(1))
+        x = np.random.default_rng(2).standard_normal((3, 2, 48)).astype(dtype)
+        plan, traced = rc.trace_model(model, x)
+        eager = _eager(model, x)
+        assert np.array_equal(traced, eager)
+        assert np.array_equal(plan.execute(x), eager)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("batch", [1, 3])
+    def test_fno2d_bitwise(self, dtype, batch):
+        model = _fno2d()
+        x = np.random.default_rng(3).standard_normal((batch, 3, 24, 24)).astype(dtype)
+        plan, _ = rc.trace_model(model, x)
+        eager = _eager(model, x)
+        assert np.array_equal(plan.execute(x), eager)
+        # repeated executions through reused arena buffers stay exact
+        assert np.array_equal(plan.execute(x), eager)
+
+    @pytest.mark.parametrize("activation", ["relu", "gelu", "tanh"])
+    def test_fno2d_activations(self, activation):
+        model = _fno2d(activation=activation)
+        x = np.random.default_rng(4).standard_normal((2, 3, 16, 16)).astype(np.float32)
+        plan, _ = rc.trace_model(model, x)
+        assert np.array_equal(plan.execute(x), _eager(model, x))
+
+    def test_fno2d_divergence_free(self):
+        model = FNO2d(2, 2, modes1=4, modes2=4, width=4, n_layers=2,
+                      divergence_free=True, rng=np.random.default_rng(5))
+        x = np.random.default_rng(6).standard_normal((1, 2, 16, 16)).astype(np.float32)
+        plan, _ = rc.trace_model(model, x)
+        assert np.array_equal(plan.execute(x), _eager(model, x))
+
+    def test_fno3d_bitwise_with_time_padding(self):
+        model = FNO3d(2, 2, modes1=3, modes2=3, modes3=2, width=4, n_layers=2,
+                      time_padding=3, rng=np.random.default_rng(7))
+        x = np.random.default_rng(8).standard_normal((1, 2, 12, 12, 6)).astype(np.float32)
+        plan, _ = rc.trace_model(model, x)
+        assert np.array_equal(plan.execute(x), _eager(model, x))
+
+    def test_batch_invariant_context_agrees(self):
+        # Deterministic serving flips the mode-mixing einsum to
+        # optimize=False; compiled kernels must follow the flag per call.
+        model = _fno2d()
+        x = np.random.default_rng(9).standard_normal((2, 3, 16, 16)).astype(np.float32)
+        plan, _ = rc.trace_model(model, x)
+        with fft_ops.batch_invariant_kernels():
+            assert np.array_equal(plan.execute(x), _eager(model, x))
+        assert np.array_equal(plan.execute(x), _eager(model, x))
+
+    def test_fft_workers_setting_agrees(self):
+        model = _fno2d()
+        x = np.random.default_rng(10).standard_normal((1, 3, 16, 16)).astype(np.float32)
+        plan, _ = rc.trace_model(model, x)
+        baseline = _eager(model, x)
+        try:
+            fft_ops.set_fft_workers(2)
+            assert fft_ops.fft_workers() == 2
+            # pocketfft output does not depend on the worker count, and
+            # compiled/eager must read the same setting at call time.
+            assert np.array_equal(_eager(model, x), baseline)
+            assert np.array_equal(plan.execute(x), baseline)
+        finally:
+            fft_ops.set_fft_workers(None)
+
+
+# ---------------------------------------------------------------------------
+# arena safety
+# ---------------------------------------------------------------------------
+
+
+class TestArena:
+    def test_outputs_never_alias_across_calls(self):
+        model = _fno2d()
+        rng = np.random.default_rng(11)
+        x1 = rng.standard_normal((1, 3, 16, 16)).astype(np.float32)
+        x2 = rng.standard_normal((1, 3, 16, 16)).astype(np.float32)
+        plan, _ = rc.trace_model(model, x1)
+        y1 = plan.execute(x1)
+        y1_snapshot = y1.copy()
+        y2 = plan.execute(x2)
+        assert not np.shares_memory(y1, y2)
+        assert np.array_equal(y1, y1_snapshot)  # second call didn't clobber
+
+    def test_arena_reuses_buffers(self):
+        model = _fno2d(n_layers=3)
+        x = np.random.default_rng(12).standard_normal((1, 3, 16, 16)).astype(np.float32)
+        plan, _ = rc.trace_model(model, x)
+        assert plan.arena.reuse_count > 0
+        assert plan.nbytes > 0
+
+    def test_shape_mismatch_raises(self):
+        model = _fno2d()
+        x = np.random.default_rng(13).standard_normal((1, 3, 16, 16)).astype(np.float32)
+        plan, _ = rc.trace_model(model, x)
+        with pytest.raises(PlanMismatchError):
+            plan.execute(x[:, :, :8, :8])
+        with pytest.raises(PlanMismatchError):
+            plan.execute(x.astype(np.float64))
+
+    def test_input_not_mutated(self):
+        model = _fno2d()
+        x = np.random.default_rng(14).standard_normal((1, 3, 16, 16)).astype(np.float32)
+        snapshot = x.copy()
+        plan, _ = rc.trace_model(model, x)
+        plan.execute(x)
+        assert np.array_equal(x, snapshot)
+
+
+# ---------------------------------------------------------------------------
+# plan cache
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCache:
+    def test_trace_once_then_hit(self):
+        cache = rc.PlanCache(enabled=True)
+        model = _fno2d()
+        x = np.random.default_rng(15).standard_normal((1, 3, 16, 16)).astype(np.float32)
+        eager = _eager(model, x)
+        assert np.array_equal(cache.forward(model, x), eager)  # traces
+        assert np.array_equal(cache.forward(model, x), eager)  # hits
+        stats = cache.stats()
+        assert stats["traces"] == 1 and stats["hits"] == 1 and stats["plans"] == 1
+
+    def test_new_shape_traces_new_plan(self):
+        cache = rc.PlanCache(enabled=True)
+        model = _fno2d()
+        rng = np.random.default_rng(16)
+        for batch in (1, 2, 1):
+            x = rng.standard_normal((batch, 3, 16, 16)).astype(np.float32)
+            assert np.array_equal(cache.forward(model, x), _eager(model, x))
+        stats = cache.stats()
+        assert stats["traces"] == 2 and stats["hits"] == 1
+
+    def test_lru_evicts_old_shapes(self):
+        cache = rc.PlanCache(max_plans_per_model=2, enabled=True)
+        model = _fno2d()
+        rng = np.random.default_rng(17)
+        for batch in (1, 2, 3):
+            cache.forward(model, rng.standard_normal((batch, 3, 16, 16)).astype(np.float32))
+        stats = cache.stats()
+        assert stats["plans"] == 2 and stats["shape_evictions"] == 1
+
+    def test_weight_swap_is_coherent_without_retrace(self):
+        cache = rc.PlanCache(enabled=True)
+        model = _fno2d(rng_seed=18)
+        donor = _fno2d(rng_seed=19)
+        x = np.random.default_rng(20).standard_normal((1, 3, 16, 16)).astype(np.float32)
+        cache.forward(model, x)
+        model.load_state_dict(donor.state_dict())
+        # same plan object, new weights: parameters are read at call time
+        assert np.array_equal(cache.forward(model, x), _eager(donor, x))
+        assert cache.stats()["traces"] == 1
+
+    def test_deeponet_falls_back_to_eager(self):
+        cache = rc.PlanCache(enabled=True)
+        model = DeepONet2d(2, 1, grid_size=8, n_basis=4, branch_hidden=8,
+                           trunk_hidden=8, rng=np.random.default_rng(21))
+        x = np.random.default_rng(22).standard_normal((1, 2, 8, 8)).astype(np.float64)
+        assert cache.forward(model, x) is None
+        assert cache.forward(model, x) is None  # negatively cached
+        stats = cache.stats()
+        assert stats["fallbacks"] == 2 and stats["traces"] == 0
+
+    def test_invalidate_drops_plans(self):
+        cache = rc.PlanCache(enabled=True)
+        model = _fno2d()
+        x = np.random.default_rng(23).standard_normal((1, 3, 16, 16)).astype(np.float32)
+        cache.forward(model, x)
+        assert cache.invalidate(model) == 1
+        assert cache.stats()["plans"] == 0
+        assert cache.invalidate(model) == 0
+
+    def test_env_gate_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILE", "0")
+        cache = rc.PlanCache()
+        assert not cache.enabled
+        model = _fno2d()
+        x = np.random.default_rng(24).standard_normal((1, 3, 16, 16)).astype(np.float32)
+        assert cache.forward(model, x) is None
+        assert cache.stats()["plans"] == 0
+        monkeypatch.setenv("REPRO_COMPILE", "1")
+        assert rc.PlanCache().enabled
+
+    def test_mismatched_execution_falls_back_and_drops(self):
+        cache = rc.PlanCache(enabled=True)
+        model = _fno2d()
+        x = np.random.default_rng(25).standard_normal((1, 3, 16, 16)).astype(np.float32)
+        cache.forward(model, x)
+        # sabotage the cached plan so execution fails mid-flight
+        plan = cache.plan_for(model, x)
+        plan.input_shape = (9, 9, 9, 9)
+        out = cache.forward(model, x)
+        assert out is None  # served eagerly by the caller
+        assert cache.stats()["plans"] == 0  # bad plan dropped
+
+
+# ---------------------------------------------------------------------------
+# integration: apply_channels and the CLI
+# ---------------------------------------------------------------------------
+
+
+class TestIntegration:
+    def test_apply_channels_uses_compiled_path(self):
+        model = _fno2d()
+        x = np.random.default_rng(26).standard_normal((1, 3, 16, 16)).astype(np.float32)
+        before = rc.stats()["traces"]
+        out1 = apply_channels(model, x)
+        out2 = apply_channels(model, x)
+        assert rc.stats()["traces"] == before + 1
+        eager = _eager(model, x)
+        assert np.array_equal(out1, eager)
+        assert np.array_equal(out2, eager)
+
+    def test_apply_channels_eager_when_disabled(self):
+        model = _fno2d()
+        x = np.random.default_rng(27).standard_normal((1, 3, 16, 16)).astype(np.float32)
+        rc.set_enabled(False)
+        try:
+            out = apply_channels(model, x)
+            assert rc.stats()["plans"] == 0
+        finally:
+            rc.set_enabled(True)
+        assert np.array_equal(out, _eager(model, x))
+
+    def test_compile_model_without_data(self):
+        model = _fno2d()
+        plan = rc.compile_model(model, (2, 3, 16, 16), dtype=np.float32)
+        desc = plan.describe()
+        assert desc["model"] == "FNO2d"
+        assert desc["n_steps"] == len(plan.steps) > 0
+        assert desc["arena_bytes"] == plan.nbytes
+        assert desc["est_flops"] == plan.flops > 0
+
+    def test_cli_prints_plan(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.core.config import ChannelFNOConfig
+        from repro.core.zoo import save_model
+
+        cfg = ChannelFNOConfig(n_in=1, n_out=1, n_fields=2, modes1=4, modes2=4,
+                               width=4, n_layers=2, projection_channels=8)
+        model = FNO2d(cfg.in_channels, cfg.out_channels, modes1=4, modes2=4,
+                      width=4, n_layers=2, projection_channels=8,
+                      rng=np.random.default_rng(28))
+        path = tmp_path / "model.npz"
+        save_model(path, model, cfg, None)
+
+        assert main(["compile", str(path), "--grid", "16"]) == 0
+        text = capsys.readouterr().out
+        assert "spectral_conv2d" in text and "arena" in text
+
+        import json
+        assert main(["compile", str(path), "--grid", "16", "--json"]) == 0
+        desc = json.loads(capsys.readouterr().out)
+        assert desc["input_shape"] == [1, 2, 16, 16]
+        assert any(s["op"] == "spectral_conv2d" for s in desc["steps"])

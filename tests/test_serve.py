@@ -103,6 +103,42 @@ class TestRegistry:
         with pytest.raises(ModelNotFound):
             ModelRegistry().get("no-such-model")
 
+    def test_eviction_drops_compiled_plans(self, checkpoint):
+        # Plan-cache coherence: a model leaving the registry (evict or
+        # mtime invalidation) must take its compiled plans along, so a
+        # reloaded checkpoint can never answer through a stale plan.
+        from repro import compile as rc
+        from repro.core.rollout import apply_channels
+
+        rc.clear()
+        reg = ModelRegistry(capacity=2, dtype=np.float32)
+        reg.register("tiny", checkpoint)
+        entry = reg.get("tiny")
+        x = np.random.default_rng(0).standard_normal(
+            (1, CFG.in_channels, 16, 16)).astype(np.float32)
+        apply_channels(entry.model, x)
+        assert rc.plan_cache().plan_for(entry.model, x) is not None
+        reg.evict("tiny")
+        assert rc.plan_cache().plan_for(entry.model, x) is None
+
+        entry = reg.get("tiny")
+        apply_channels(entry.model, x)
+        assert rc.stats()["plans"] == 1
+        st = os.stat(checkpoint)
+        os.utime(checkpoint, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+        reg.get("tiny")  # fingerprint change reloads and fires the hook
+        assert rc.plan_cache().plan_for(entry.model, x) is None
+        rc.clear()
+
+    def test_custom_invalidation_hook_fires(self, checkpoint):
+        reg = ModelRegistry()
+        reg.register("tiny", checkpoint)
+        reg.get("tiny")
+        seen = []
+        reg.add_invalidation_hook(lambda entry: seen.append(entry.name))
+        reg.evict("tiny")
+        assert seen == ["tiny"]
+
     def test_register_requires_existing_file(self, tmp_path):
         from repro.core import CheckpointError
 
