@@ -1,0 +1,29 @@
+"""Whole-program static analysis over the repro codebase.
+
+Where :mod:`repro.checks` runs per-file AST rules (RPR001–RPR009), this
+package builds a project-wide symbol table (:mod:`.project`) and call
+graph (:mod:`.callgraph`), then runs three interprocedural analyses:
+
+* :mod:`.dtypeflow` — RPR101 cross-module dtype widening and RPR102
+  shape-contract violations, via a flow-sensitive abstract interpreter;
+* :mod:`.races` — RPR103 unlocked shared-state writes and RPR104 torn
+  snapshot reads, lock-aware over the concurrency-reachable subgraph;
+* :mod:`.seeds` — RPR105 seed-provenance taint from RNG sources to
+  artifact writes.
+
+Entry points: :func:`analyze_paths` (library) and ``repro analyze``
+(CLI, :mod:`.cli`).
+"""
+
+from .callgraph import CallGraph, build_callgraph
+from .engine import ANALYSIS_RULES, AnalyzeReport, analyze_paths
+from .project import Project
+
+__all__ = [
+    "ANALYSIS_RULES",
+    "AnalyzeReport",
+    "CallGraph",
+    "Project",
+    "analyze_paths",
+    "build_callgraph",
+]

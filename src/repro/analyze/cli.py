@@ -1,0 +1,124 @@
+"""``repro analyze`` — whole-program static analysis from the command line.
+
+Usage::
+
+    python -m repro.cli analyze src                     # text report
+    python -m repro.cli analyze src --format json       # machine-readable
+    python -m repro.cli analyze src --graph callgraph.dot
+    python -m repro.cli analyze src --select RPR103,RPR104
+    python -m repro.cli analyze --list-rules
+
+Exit codes mirror ``repro check``: 0 — clean (only suppressed/baselined
+findings); 1 — new findings; 2 — usage, parse or baseline errors.  The
+JSON report carries the call-graph stats and the seed-provenance table
+alongside the findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..checks.baseline import Baseline, load_baseline, write_baseline
+from .engine import ANALYSIS_RULES, analyze_paths
+
+__all__ = ["add_analyze_arguments", "run_analyze", "main"]
+
+DEFAULT_BASELINE = "analyze-baseline.json"
+
+
+def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``analyze`` options to an (sub)parser."""
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyse (default: src)")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="report format")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE, metavar="FILE",
+                        help=f"baseline of grandfathered findings (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file; report every finding")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current findings as the new baseline and exit 0")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--graph", default=None, metavar="FILE",
+                        help="write the call graph as Graphviz dot to FILE ('-' for stdout)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the analysis catalogue and exit")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also list baselined and suppressed findings (text format)")
+
+
+def run_analyze(args) -> int:
+    if args.list_rules:
+        for rule, (name, description) in sorted(ANALYSIS_RULES.items()):
+            print(f"{rule}  {name:<18} {description}")
+        return 0
+
+    select = [r.strip() for r in args.select.split(",") if r.strip()] if args.select else None
+    try:
+        baseline = Baseline() if (args.no_baseline or args.write_baseline) \
+            else load_baseline(args.baseline)
+        report = analyze_paths(args.paths, select=select, baseline=baseline,
+                               want_dot=args.graph is not None)
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"repro analyze: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.graph is not None:
+        if args.graph == "-":
+            sys.stdout.write(report.dot or "")
+        else:
+            with open(args.graph, "w", encoding="utf-8") as fh:
+                fh.write(report.dot or "")
+
+    result = report.result
+    if args.write_baseline:
+        new_baseline = Baseline.from_findings(
+            result.findings,
+            comment="Grandfathered whole-program findings; fix or justify "
+                    "before extending.",
+        )
+        write_baseline(args.baseline, new_baseline)
+        print(f"wrote {len(new_baseline)} finding(s) to {args.baseline}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        if args.verbose:
+            for label, bucket in (("baselined", result.baselined),
+                                  ("suppressed", result.suppressed)):
+                for finding in bucket:
+                    print(f"[{label}] {finding.render()}")
+        for error in result.errors:
+            print(f"error: {error}", file=sys.stderr)
+        stats = report.graph_stats
+        print(
+            f"analyzed {result.n_files} module(s) "
+            f"({stats.get('nodes', 0)} call-graph nodes, "
+            f"{stats.get('edges', 0)} edges, "
+            f"{stats.get('concurrent', 0)} concurrency-reachable): "
+            f"{len(result.findings)} finding(s), "
+            f"{len(result.baselined)} baselined, "
+            f"{len(result.suppressed)} suppressed"
+            + (f", {len(result.errors)} error(s)" if result.errors else "")
+        )
+    if result.errors:
+        return 2
+    return 0 if result.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze", description="repro whole-program static analysis"
+    )
+    add_analyze_arguments(parser)
+    return run_analyze(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,104 @@
+"""Orchestration: project load → call graph → the three analyses.
+
+:func:`analyze_paths` is the single entry the CLI, CI, the tests and the
+benchmark share.  Findings flow through the same machinery as the
+per-file rule pack — inline ``# repro: ignore[RULE]`` suppressions and a
+snippet-keyed occurrence-counted baseline (``analyze-baseline.json`` by
+default, separate from ``checks-baseline.json`` so the two gates can be
+tightened independently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..checks.baseline import Baseline
+from ..checks.findings import CheckResult, Finding
+from .callgraph import build_callgraph
+from .dtypeflow import DtypeShapeAnalysis
+from .project import Project
+from .races import RaceAnalysis
+from .seeds import SeedTaintAnalysis
+
+__all__ = ["analyze_paths", "AnalyzeReport", "ANALYSIS_RULES"]
+
+ANALYSIS_RULES = {
+    "RPR101": ("dtype-widening", "cross-module implicit f32→f64/c128 widening"),
+    "RPR102": ("shape-contract", "statically provable shape mismatches"),
+    "RPR103": ("unlocked-write", "shared-state writes outside the owning lock"),
+    "RPR104": ("torn-read", "multi-attribute reads without the guarding lock"),
+    "RPR105": ("seed-provenance", "artifact writes fed by unseeded RNG streams"),
+}
+
+
+@dataclass
+class AnalyzeReport:
+    """One analyzer run: findings plus the whole-program context."""
+
+    result: CheckResult
+    graph_stats: dict = field(default_factory=dict)
+    provenance: list[dict] = field(default_factory=list)
+    dot: str | None = None
+
+    def to_dict(self) -> dict:
+        payload = self.result.to_dict()
+        payload["callgraph"] = self.graph_stats
+        payload["provenance"] = self.provenance
+        return payload
+
+
+def analyze_paths(
+    paths,
+    select: list[str] | None = None,
+    baseline: Baseline | None = None,
+    root: str | Path | None = None,
+    want_dot: bool = False,
+) -> AnalyzeReport:
+    """Run the whole-program analyses over ``paths``.
+
+    ``select`` restricts to specific rule ids; unknown ids raise
+    ``KeyError`` (mirroring ``check_paths``).  ``baseline`` absorbs
+    grandfathered findings; ``want_dot`` additionally renders the call
+    graph in Graphviz dot.
+    """
+    if select:
+        unknown = [rule for rule in select if rule not in ANALYSIS_RULES]
+        if unknown:
+            raise KeyError(f"unknown analysis rule(s): {', '.join(unknown)}")
+    baseline = baseline or Baseline()
+
+    project = Project.load(paths, root=root)
+    graph = build_callgraph(project)
+
+    findings: list[Finding] = []
+    if select is None or any(r in ("RPR101", "RPR102") for r in select):
+        findings.extend(DtypeShapeAnalysis(project).run())
+    if select is None or any(r in ("RPR103", "RPR104") for r in select):
+        findings.extend(RaceAnalysis(project, graph).run())
+    seed_analysis = SeedTaintAnalysis(project)
+    if select is None or "RPR105" in select:
+        findings.extend(seed_analysis.run())
+    if select is not None:
+        findings = [f for f in findings if f.rule in select]
+    findings.sort(key=Finding.sort_key)
+
+    by_path = {module.path: module for module in project.modules.values()}
+    matcher = baseline.make_matcher()
+    result = CheckResult(n_files=len(project.modules), errors=list(project.errors))
+    for finding in findings:
+        module = by_path.get(finding.path)
+        if module is not None and module.suppressions.is_suppressed(
+                finding.rule, finding.line):
+            result.suppressed.append(finding)
+        elif matcher(finding):
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+
+    return AnalyzeReport(
+        result=result,
+        graph_stats=graph.stats(),
+        provenance=seed_analysis.provenance_rows(),
+        dot=graph.to_dot() if want_dot else None,
+    )

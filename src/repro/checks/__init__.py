@@ -20,14 +20,14 @@ Typical use::
         model(Tensor(window.astype(np.float32)))
 """
 
-from .baseline import Baseline, load_baseline, write_baseline
+from .baseline import Baseline, load_baseline, prune_baseline, write_baseline
 from .engine import check_paths, classify_zone, iter_python_files
 from .findings import CheckResult, Finding
 from .registry import FileContext, RuleSpec, all_rules, get_rule, rule
 from .sanitizer import DtypePromotionError, SanitizerReport, dtype_sanitizer
 
 __all__ = [
-    "Baseline", "load_baseline", "write_baseline",
+    "Baseline", "load_baseline", "prune_baseline", "write_baseline",
     "check_paths", "classify_zone", "iter_python_files",
     "CheckResult", "Finding",
     "FileContext", "RuleSpec", "all_rules", "get_rule", "rule",

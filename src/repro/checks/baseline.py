@@ -24,7 +24,7 @@ from pathlib import Path
 
 from .findings import Finding
 
-__all__ = ["Baseline", "load_baseline", "write_baseline"]
+__all__ = ["Baseline", "load_baseline", "write_baseline", "prune_baseline"]
 
 BASELINE_VERSION = 1
 
@@ -67,6 +67,27 @@ class Baseline:
         if self.comment:
             payload["comment"] = self.comment
         return payload
+
+
+def prune_baseline(baseline: Baseline,
+                   findings: list[Finding]) -> tuple[Baseline, int]:
+    """Drop baseline entries whose source sites no longer exist.
+
+    ``findings`` must come from a run *without* a baseline, so it is the
+    complete set of live findings.  Each entry's count is clamped to the
+    number of live occurrences of its key; entries that reach zero are
+    removed.  Returns the pruned baseline and how many stale occurrences
+    were dropped.
+    """
+    live = Counter(f.baseline_key() for f in findings)
+    kept: dict[str, int] = {}
+    removed = 0
+    for key, recorded in baseline.counts.items():
+        keep = min(recorded, live.get(key, 0))
+        if keep:
+            kept[key] = keep
+        removed += recorded - keep
+    return Baseline(kept, comment=baseline.comment), removed
 
 
 def load_baseline(path) -> Baseline:

@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli check src                      # text report
     python -m repro.cli check src --format json        # machine-readable
     python -m repro.cli check src --write-baseline     # grandfather findings
+    python -m repro.cli check src --prune-baseline     # drop stale entries
     python -m repro.cli check src --select RPR001,RPR003
     python -m repro.cli check --list-rules
 
@@ -18,7 +19,7 @@ import argparse
 import json
 import sys
 
-from .baseline import Baseline, load_baseline, write_baseline
+from .baseline import Baseline, load_baseline, prune_baseline, write_baseline
 from .engine import check_paths
 from .registry import all_rules
 
@@ -39,6 +40,9 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
                         help="ignore the baseline file; report every finding")
     parser.add_argument("--write-baseline", action="store_true",
                         help="record current findings as the new baseline and exit 0")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="remove baseline entries whose source sites no longer "
+                             "exist, rewrite the file, and exit 0")
     parser.add_argument("--select", default=None, metavar="RULES",
                         help="comma-separated rule ids to run (default: all)")
     parser.add_argument("--list-rules", action="store_true",
@@ -55,6 +59,15 @@ def run_check(args) -> int:
 
     select = [r.strip() for r in args.select.split(",") if r.strip()] if args.select else None
     try:
+        if args.prune_baseline:
+            baseline = load_baseline(args.baseline)
+            result = check_paths(args.paths, select=select, baseline=Baseline())
+            pruned, removed = prune_baseline(baseline, result.findings)
+            if removed:
+                write_baseline(args.baseline, pruned)
+            print(f"pruned {removed} stale entr{'y' if removed == 1 else 'ies'} "
+                  f"from {args.baseline} ({len(pruned)} remaining)")
+            return 0
         baseline = Baseline() if (args.no_baseline or args.write_baseline) \
             else load_baseline(args.baseline)
         result = check_paths(args.paths, select=select, baseline=baseline)

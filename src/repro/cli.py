@@ -7,6 +7,7 @@ and observability::
     python -m repro.cli train    --data data.npz --epochs 30 --out model.npz
     python -m repro.cli rollout  --data data.npz --model model.npz --mode hybrid
     python -m repro.cli analyze  --data data.npz
+    python -m repro.cli analyze  src --format json
     python -m repro.cli inspect  model.npz
     python -m repro.cli serve    --model tiny=model.npz --port 8764
     python -m repro.cli run      --workdir runs/a --grid 16 --epochs 3
@@ -82,9 +83,17 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--reynolds", type=float, default=None,
                    help="PDE viscosity via Re (default: shard metadata or 800)")
 
-    a = sub.add_parser("analyze", help="dataset statistics and Lyapunov estimate")
-    a.add_argument("--data", required=True)
+    a = sub.add_parser(
+        "analyze",
+        help="whole-program static analysis (or dataset statistics with --data)",
+    )
+    a.add_argument("--data", default=None,
+                   help="dataset .npz: print statistics/Lyapunov estimate "
+                        "instead of running static analysis")
     a.add_argument("--lyapunov", action="store_true", help="also estimate the Lyapunov time")
+    from repro.analyze.cli import add_analyze_arguments
+
+    add_analyze_arguments(a)
 
     i = sub.add_parser("inspect", help="print a checkpoint's config/version/normalizer")
     i.add_argument("checkpoint", help="path to a model .npz saved by repro train")
@@ -276,6 +285,11 @@ def _cmd_rollout(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
+    if args.data is None:
+        from repro.analyze.cli import run_analyze
+
+        return run_analyze(args)
+
     from repro.analysis import correlation_coefficient, l2_separation, std_evolution
     from repro.data import load_samples
 

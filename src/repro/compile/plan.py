@@ -308,6 +308,7 @@ class CompiledPlan:
         self.output_slot = output_slot
         self.output_fresh = output_fresh
         self.executions = 0
+        self._count_lock = threading.Lock()
         self._runs = [step.run for step in steps]
         self._tls = threading.local()
 
@@ -333,7 +334,10 @@ class CompiledPlan:
         values[self.input_slot] = x
         for run in self._runs:
             run(values)
-        self.executions += 1
+        # Plans are shared across serve workers through the process-wide
+        # cache; unlocked increments would lose counts.
+        with self._count_lock:
+            self.executions += 1
         out = values[self.output_slot]
         if self.output_fresh:
             return out

@@ -158,6 +158,12 @@ class PlanCache:
         with self._lock:
             self._plans.clear()
 
+    def set_enabled(self, value: bool) -> None:
+        """Flip compilation on/off; locked so worker threads reading
+        ``enabled`` in :meth:`forward` never see a torn update."""
+        with self._lock:
+            self.enabled = bool(value)
+
     def stats(self) -> dict:
         with self._lock:
             per_model_counts = [
@@ -211,4 +217,4 @@ def enabled() -> bool:
 
 
 def set_enabled(value: bool) -> None:
-    _CACHE.enabled = bool(value)
+    _CACHE.set_enabled(value)

@@ -56,14 +56,19 @@ class Heartbeat:
         self.path = Path(path)
         self.interval = float(interval)
         self._seq = 0
+        self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
 
     def beat(self) -> None:
-        self._seq += 1
-        atomic_write_json(
-            self.path, {"pid": os.getpid(), "seq": self._seq, "interval": self.interval}
-        )
+        # start() beats from the caller's thread while _loop beats from
+        # the daemon thread; the lock keeps seq increments exact and the
+        # file contents monotonic.
+        with self._lock:
+            self._seq += 1
+            atomic_write_json(
+                self.path, {"pid": os.getpid(), "seq": self._seq, "interval": self.interval}
+            )
 
     def start(self) -> "Heartbeat":
         self.beat()

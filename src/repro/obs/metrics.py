@@ -140,6 +140,9 @@ class Histogram:
         with self._lock:
             counts = list(self._counts)
             count, lo, hi = self.count, self.min, self.max
+        return self._interpolate(counts, count, lo, hi, q)
+
+    def _interpolate(self, counts, count, lo, hi, q: float) -> float:
         if not count:
             return 0.0
         rank = q / 100.0 * count
@@ -160,13 +163,22 @@ class Histogram:
         return hi
 
     def summary(self) -> dict:
-        """``{count, mean, p50, p95, max}`` snapshot (same shape as summaries)."""
+        """``{count, mean, p50, p95, max}`` snapshot (same shape as summaries).
+
+        All fields come from one locked copy, so a concurrent
+        ``observe`` can never yield a count that disagrees with the
+        percentiles next to it.
+        """
+        with self._lock:
+            counts = list(self._counts)
+            count, total = self.count, self.total
+            lo, hi = self.min, self.max
         return {
-            "count": self.count,
-            "mean": self.mean,
-            "p50": self.percentile(50.0),
-            "p95": self.percentile(95.0),
-            "max": self.max if self.count else 0.0,
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "p50": self._interpolate(counts, count, lo, hi, 50.0),
+            "p95": self._interpolate(counts, count, lo, hi, 95.0),
+            "max": hi if count else 0.0,
         }
 
 
@@ -208,6 +220,10 @@ class WindowedSummary:
             raise ValueError("q must be in [0, 100]")
         with self._lock:
             samples = sorted(self._samples)
+        return self._interpolate(samples, q)
+
+    @staticmethod
+    def _interpolate(samples: list, q: float) -> float:
         if not samples:
             return 0.0
         pos = (len(samples) - 1) * q / 100.0
@@ -217,13 +233,17 @@ class WindowedSummary:
         return samples[lo] * (1.0 - frac) + samples[hi] * frac
 
     def summary(self) -> dict:
-        """``{count, mean, p50, p95, max}`` snapshot (seconds)."""
+        """``{count, mean, p50, p95, max}`` snapshot (seconds), taken
+        under one lock acquisition so the fields agree with each other."""
+        with self._lock:
+            samples = sorted(self._samples)
+            count, total, peak = self.count, self.total, self.max
         return {
-            "count": self.count,
-            "mean": self.mean,
-            "p50": self.percentile(50.0),
-            "p95": self.percentile(95.0),
-            "max": self.max,
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "p50": self._interpolate(samples, 50.0),
+            "p95": self._interpolate(samples, 95.0),
+            "max": peak,
         }
 
 
@@ -270,7 +290,8 @@ class Timer:
 
     @property
     def mean(self) -> float:
-        return self.elapsed / self.n_intervals if self.n_intervals else 0.0
+        with self._lock:
+            return self.elapsed / self.n_intervals if self.n_intervals else 0.0
 
 
 @contextmanager

@@ -21,6 +21,7 @@ from repro.checks import (
     check_paths,
     classify_zone,
     load_baseline,
+    prune_baseline,
     write_baseline,
 )
 from repro.checks.cli import main as check_main
@@ -267,6 +268,48 @@ class TestBaseline:
         with pytest.raises(ValueError):
             load_baseline(path)
 
+    def test_prune_drops_stale_and_clamps_counts(self, tmp_path):
+        path = _write_fixture(tmp_path, "RPR001")
+        live = check_paths([path], root=tmp_path).findings
+        assert len(live) == 1
+        key = live[0].baseline_key()
+        stale = Baseline({key: 3, "RPR001::gone.py::x = 1": 2}, comment="keep me")
+        pruned, removed = prune_baseline(stale, live)
+        # the fixture key is clamped 3 -> 1, the dead-file entry vanishes
+        assert pruned.counts == {key: 1}
+        assert removed == 4
+        assert pruned.comment == "keep me"
+
+    def test_prune_is_identity_on_clean_baseline(self, tmp_path):
+        path = _write_fixture(tmp_path, "RPR001")
+        live = check_paths([path], root=tmp_path).findings
+        baseline = Baseline.from_findings(live)
+        pruned, removed = prune_baseline(baseline, live)
+        assert removed == 0 and pruned.counts == baseline.counts
+
+    def test_cli_prune_rewrites_only_when_stale(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = _write_fixture(tmp_path, "RPR001")
+        baseline_path = tmp_path / "baseline.json"
+        live = check_paths([path], root=tmp_path).findings
+        write_baseline(baseline_path, Baseline(
+            {live[0].baseline_key(): 1, "RPR001::gone.py::x = 1": 1}))
+        before = baseline_path.read_text()
+
+        assert check_main([str(path), "--baseline", str(baseline_path),
+                           "--prune-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 stale entry" in out
+        assert "gone.py" not in baseline_path.read_text()
+
+        # a second prune finds nothing and leaves the file untouched
+        after = baseline_path.read_text()
+        assert check_main([str(path), "--baseline", str(baseline_path),
+                           "--prune-baseline"]) == 0
+        assert "pruned 0 stale entries" in capsys.readouterr().out
+        assert baseline_path.read_text() == after
+        assert after != before
+
 
 class TestCLI:
     def test_exit_codes_and_json_schema(self, tmp_path, capsys, monkeypatch):
@@ -315,6 +358,17 @@ class TestRepoIsClean:
         assert result.errors == []
         assert result.findings == [], "new findings:\n" + "\n".join(
             f.render() for f in result.findings
+        )
+
+    def test_committed_baseline_is_prune_clean(self):
+        """Every grandfathered entry still points at live code."""
+        baseline = load_baseline(REPO_ROOT / "checks-baseline.json")
+        live = check_paths([REPO_ROOT / "src"], baseline=Baseline(),
+                           root=REPO_ROOT).findings
+        _, removed = prune_baseline(baseline, live)
+        assert removed == 0, (
+            f"{removed} stale baseline entr(y/ies); "
+            "run `repro check --prune-baseline` and commit the result"
         )
 
     def test_cli_subcommand_wires_through(self):
