@@ -11,10 +11,12 @@
 | RPR007 | resilience-hygiene | unbounded while-True retries, swallow-and-continue |
 | RPR008 | artifact-integrity | raw np.savez / open-"wb" writes bypassing manifests |
 | RPR009 | compile-alloc-hygiene | fresh allocations / Tensor tape in plan-executed hot paths |
+| RPR010 | parallel-hygiene   | raw multiprocessing/SharedMemory bypassing repro.parallel |
 """
 
-from . import api, artifacts, compile, dtype, faults, numerics, obs, rng, threads  # noqa: F401
+from . import api, artifacts, compile, dtype, faults, numerics, obs, parallel, rng, threads  # noqa: F401
 
 __all__ = [
-    "api", "artifacts", "compile", "dtype", "faults", "numerics", "obs", "rng", "threads",
+    "api", "artifacts", "compile", "dtype", "faults", "numerics", "obs",
+    "parallel", "rng", "threads",
 ]

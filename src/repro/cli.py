@@ -72,6 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--loss", choices=["l2", "mse", "h1", "divergence"], default="l2")
     t.add_argument("--test-fraction", type=float, default=0.25)
     t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--batch-workers", type=int, default=0,
+                   help="assemble training batches in a process pool "
+                        "(>=2 enables it; bitwise-identical to serial)")
     t.add_argument("--out", default="model.npz")
 
     r = sub.add_parser("rollout", help="roll a trained model out (pure or hybrid)")
@@ -110,6 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--queue-depth", type=int, default=64,
                    help="bounded queue size; beyond it /predict answers 503 + Retry-After")
     s.add_argument("--serve-workers", type=int, default=2, help="worker threads")
+    s.add_argument("--proc", action="store_true",
+                   help="back the workers with a process pool (GIL-free compute, "
+                        "zero-copy shared-memory weights, one pool child per "
+                        "worker thread)")
     s.add_argument("--capacity", type=int, default=4, help="models kept loaded (LRU)")
     s.add_argument("--require-manifest", action="store_true",
                    help="refuse models without a verifiable integrity manifest "
@@ -234,7 +241,8 @@ def _cmd_train(args) -> int:
     ))
     trainer.fit(normalizer.encode(X), normalizer.encode(Y),
                 normalizer.encode(Xt), normalizer.encode(Yt),
-                log_every=max(args.epochs // 6, 1))
+                log_every=max(args.epochs // 6, 1),
+                batch_workers=args.batch_workers)
 
     with no_grad():
         pred = normalizer.decode(model(Tensor(normalizer.encode(Xt))).numpy())
@@ -369,6 +377,7 @@ def _cmd_serve(args) -> int:
         deterministic=not args.non_deterministic,
         default_mode=args.default_mode,
         solver_kind=args.solver,
+        proc_workers=args.serve_workers if args.proc else 0,
     )
     serve_forever(service, host=args.host, port=args.port, verbose=args.verbose)
     return 0

@@ -34,6 +34,7 @@ __all__ = [
     "load_model",
     "inspect_checkpoint",
     "checkpoint_fingerprint",
+    "config_from_dict",
 ]
 
 _FORMAT_VERSION = 1
@@ -115,17 +116,28 @@ def _read_header(data, path: Path) -> dict:
     return header
 
 
-def _build_config(header: dict, path: Path):
-    cfg_dict = dict(header.get("config", {}))
+def config_from_dict(config: dict, context: str = "config"):
+    """Rebuild a model config object from its ``to_dict()`` form.
+
+    ``config`` must carry a ``kind`` key naming one of the registered
+    model families.  This is the inverse of ``config.to_dict()`` and the
+    contract by which configs cross process boundaries (serve worker
+    processes rebuild the model from this dict plus shared weights).
+    """
+    cfg_dict = dict(config)
     kind = cfg_dict.pop("kind", None)
     if kind not in _CONFIG_KINDS:
         raise CheckpointError(
-            f"{path}: unknown model kind {kind!r} (known: {sorted(_CONFIG_KINDS)})"
+            f"{context}: unknown model kind {kind!r} (known: {sorted(_CONFIG_KINDS)})"
         )
     try:
         return _CONFIG_KINDS[kind](**cfg_dict)
     except TypeError as exc:
-        raise CheckpointError(f"{path}: invalid {kind!r} config ({exc})") from exc
+        raise CheckpointError(f"{context}: invalid {kind!r} config ({exc})") from exc
+
+
+def _build_config(header: dict, path: Path):
+    return config_from_dict(header.get("config", {}), context=str(path))
 
 
 def load_model(path, dtype=np.float64):

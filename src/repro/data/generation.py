@@ -6,7 +6,7 @@ then record velocity and vorticity snapshots every ``sample_interval``
 convective times over ``duration`` convective times.  The paper's setup
 is 5000 samples on a 256² grid with snapshots every ``0.005 t_c`` up to
 ``t_c`` (201 snapshots); all of that is configurable here, and samples
-fan out over processes with :func:`repro.utils.parallel_map`.
+fan out over processes with :func:`repro.parallel.parallel_map`.
 
 The solver can be the entropic lattice Boltzmann model (paper-faithful),
 or either Navier–Stokes solver (faster on small grids, useful for tests
@@ -32,7 +32,7 @@ from ..ns import (
     velocity_from_vorticity,
     vorticity_from_velocity,
 )
-from ..utils.parallel import parallel_map
+from ..parallel import parallel_map, task_seeds
 from ..utils.rng import as_generator
 from .initial_conditions import band_limited_vorticity, uniform_random_velocity
 
@@ -257,14 +257,12 @@ def _worker(args: tuple[DataGenConfig, int, int]) -> TrajectorySample:
 def generate_dataset(config: DataGenConfig, n_workers: int | None = 1) -> list[TrajectorySample]:
     """Generate ``config.n_samples`` independent trajectories.
 
-    Each sample gets its own RNG stream spawned from ``config.seed``, so
-    the result is identical for any worker count.
+    Each sample gets its own RNG stream spawned from ``config.seed``
+    (:func:`repro.parallel.task_seeds`), so the result is identical for
+    any worker count.
     """
-    seeds = np.random.SeedSequence(config.seed).spawn(config.n_samples)
-    # Collapse each spawned SeedSequence to a plain int so the job tuples
-    # stay cheaply picklable for the worker processes.
     jobs = [
-        (config, int(np.random.default_rng(s).integers(0, 2**63)), i)
-        for i, s in enumerate(seeds)
+        (config, entropy, i)
+        for i, entropy in enumerate(task_seeds(config.seed, config.n_samples))
     ]
-    return parallel_map(_worker, jobs, n_workers=n_workers)
+    return parallel_map(_worker, jobs, n_workers=n_workers, seed=config.seed)

@@ -74,10 +74,9 @@ def generate_sharded_dataset(
     out_dir.mkdir(parents=True, exist_ok=True)
 
     # Reproduce the per-sample seeds of generate_dataset, then slice.
-    seeds = np.random.SeedSequence(config.seed).spawn(config.n_samples)
-    entropies = [int(np.random.default_rng(s).integers(0, 2**63)) for s in seeds]
+    from ..parallel import parallel_map, task_seeds
 
-    from ..utils.parallel import parallel_map
+    entropies = task_seeds(config.seed, config.n_samples)
 
     paths: list[Path] = []
     for shard_idx, start in enumerate(range(0, config.n_samples, samples_per_shard)):
@@ -87,7 +86,9 @@ def generate_sharded_dataset(
             paths.append(path)
             continue
         jobs = [(config, entropies[i], i) for i in range(start, stop)]
-        shard_samples = parallel_map(_shard_worker, jobs, n_workers=n_workers)
+        shard_samples = parallel_map(
+            _shard_worker, jobs, n_workers=n_workers, seed=config.seed
+        )
         save_samples(
             path, shard_samples,
             metadata={

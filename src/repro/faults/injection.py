@@ -22,6 +22,8 @@ Sites shipped with the repo (arbitrary names are allowed):
 ``data.load_shard``       shard reads in :class:`repro.data.ShardedWindowDataset`
 ``serve.worker.infer``    the serve worker pool, once per dequeued batch
 ``rollout.step``          every FNO application in roll-out/hybrid drivers
+``parallel.worker.task``  :class:`repro.parallel.ProcessPool` children, once
+                          per executed task (kill here = worker death mid-shard)
 ========================  ====================================================
 """
 
@@ -59,6 +61,7 @@ KNOWN_SITES = (
     "data.load_shard",
     "serve.worker.infer",
     "rollout.step",
+    "parallel.worker.task",
 )
 
 # error      — raise InjectedFault at the site

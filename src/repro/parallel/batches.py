@@ -1,0 +1,177 @@
+"""Process-parallel training-batch production, bitwise-equal to serial.
+
+:class:`ParallelBatchLoader` is a drop-in for
+:class:`repro.data.loader.DataLoader`: same constructor shape, same
+``__len__``/iteration contract, same shuffle stream (it owns the
+epoch-permutation RNG, exposed as ``_rng`` for the Trainer's resume
+replay).  The difference is *where* batches are assembled:
+
+* the full ``(x, y)`` arrays are published **once** into a
+  :class:`~repro.parallel.shm.ShmArena` — workers map them zero-copy;
+* each epoch the parent draws the permutation (determinism lives in the
+  parent, identical to ``DataLoader``) and ships only index lists;
+* workers gather ``x[idx]``/``y[idx]`` into a ring of shared-memory
+  batch slots (2 per worker) while the parent is busy in the
+  forward/backward pass, and the parent copies each finished slot out
+  before reuse.
+
+Because the permutation stream, the gather arithmetic, and the yield
+order are all identical to the serial loader, a training run consumes
+byte-for-byte the same batch sequence at any worker count — the
+process pool only changes who performs the memcpy.  ``n_workers <= 1``
+degrades to exactly the serial gather with no pool or arena at all.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..utils.rng import as_generator
+from .pool import ProcessPool, attached_tensor
+from .shm import ShmArena, ShmHandle, ShmTensor
+
+__all__ = ["ParallelBatchLoader"]
+
+
+# Per-worker cache of writable slot attachments, keyed by segment name.
+# Worker processes are single-threaded task loops, so no lock is needed;
+# a respawned worker simply refills its own cache lazily.
+_SLOT_CACHE: dict[str, ShmTensor] = {}
+
+
+def _writable_slot(handle: ShmHandle) -> np.ndarray:
+    tensor = _SLOT_CACHE.get(handle.name)
+    if tensor is None:
+        tensor = _SLOT_CACHE[handle.name] = ShmTensor.attach(handle, writable=True)
+    return tensor.array
+
+
+def _gather(args) -> int:
+    """Worker task: gather dataset rows into a shared batch slot."""
+    x_slot, y_slot, indices = args
+    x = attached_tensor("x")
+    y = attached_tensor("y")
+    idx = np.fromiter(indices, dtype=np.int64, count=len(indices))
+    k = idx.shape[0]
+    _writable_slot(x_slot)[:k] = x[idx]
+    _writable_slot(y_slot)[:k] = y[idx]
+    return k
+
+
+class ParallelBatchLoader:
+    """Mini-batch iterator assembling batches in a process pool.
+
+    Parameters match :class:`repro.data.loader.DataLoader`; ``n_workers``
+    selects the pool size (``<= 1`` means fully serial — no processes,
+    no shared memory).  Call :meth:`close` (or use as a context manager)
+    to release the pool and the shared segments; abandoned mid-epoch
+    iteration is safe but the next epoch may only start after the
+    previous epoch's iterator is dropped.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int = 8,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng=None,
+        n_workers: int = 2,
+    ):
+        if len(x) != len(y):
+            raise ValueError(f"x and y disagree on length: {len(x)} vs {len(y)}")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.x = np.ascontiguousarray(x)
+        self.y = np.ascontiguousarray(y)
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = as_generator(rng)
+        self.n_workers = max(int(n_workers), 0)
+
+        self._arena: ShmArena | None = None
+        self._pool: ProcessPool | None = None
+        self._x_slots: list[ShmTensor] = []
+        self._y_slots: list[ShmTensor] = []
+        if self.n_workers > 1:
+            self._arena = ShmArena(name="batches")
+            shared_x = self._arena.put(self.x)
+            shared_y = self._arena.put(self.y)
+            n_slots = 2 * self.n_workers
+            self._x_slots = [
+                self._arena.create((self.batch_size,) + self.x.shape[1:], self.x.dtype)
+                for _ in range(n_slots)
+            ]
+            self._y_slots = [
+                self._arena.create((self.batch_size,) + self.y.shape[1:], self.y.dtype)
+                for _ in range(n_slots)
+            ]
+            self._pool = ProcessPool(
+                self.n_workers,
+                attach={"x": shared_x.handle, "y": shared_y.handle},
+                name="repro-batches",
+            )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        n = len(self.x)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[Tensor, Tensor]]:
+        n = len(self.x)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        limit = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        starts = range(0, limit, self.batch_size)
+        if self._pool is None:
+            for start in starts:
+                idx = order[start : start + self.batch_size]
+                yield Tensor(self.x[idx]), Tensor(self.y[idx])
+            return
+
+        n_slots = len(self._x_slots)
+        pending: deque[tuple[int, int]] = deque()  # (slot, task_id), FIFO
+        for i, start in enumerate(starts):
+            if len(pending) == n_slots:
+                yield self._collect(*pending.popleft())
+            slot = i % n_slots
+            idx = order[start : start + self.batch_size]
+            task_id = self._pool.submit(
+                _gather,
+                (self._x_slots[slot].handle, self._y_slots[slot].handle,
+                 tuple(int(j) for j in idx)),
+            )
+            pending.append((slot, task_id))
+        while pending:
+            yield self._collect(*pending.popleft())
+
+    def _collect(self, slot: int, task_id: int) -> tuple[Tensor, Tensor]:
+        k = self._pool.result(task_id)
+        # Copy out before the slot is reused by a later batch.
+        xb = np.array(self._x_slots[slot].array[:k])
+        yb = np.array(self._y_slots[slot].array[:k])
+        return Tensor(xb), Tensor(yb)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+        self._x_slots = []
+        self._y_slots = []
+
+    def __enter__(self) -> "ParallelBatchLoader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,299 @@
+"""Shared-memory tensors: zero-copy numpy arrays across process boundaries.
+
+A :class:`ShmTensor` is a numpy array whose storage lives in a POSIX
+shared-memory segment (``multiprocessing.shared_memory``), so a parent
+and its worker processes read the same physical pages — model weights
+and batch buffers cross the process boundary as a ~100-byte
+:class:`ShmHandle` instead of a pickled copy of the data.
+
+A :class:`ShmArena` owns a set of segments and guarantees their
+lifecycle: every ``create`` is paired with exactly one ``unlink`` (on
+:meth:`ShmArena.close` at the latest, via a ``weakref.finalize`` safety
+net if the owner forgets), handles are *refcounted* so a segment that is
+condemned while tasks still reference it is unlinked only when the last
+reference drains, and attachment in workers never takes ownership — a
+SIGKILLed worker can therefore never leak a segment: the parent (or its
+resource tracker, if the parent itself dies) always unlinks.
+
+Ownership rules:
+
+* the **creating** process (the arena) owns the segment and is the only
+  one allowed to unlink it;
+* **attaching** processes map it read-only by default and must
+  :meth:`ShmTensor.close` (unmap) — they never unlink.  Attachment also
+  unregisters the segment from the attaching process's
+  ``resource_tracker`` so a worker exiting cannot prematurely destroy a
+  segment the parent still serves from (CPython < 3.13 tracks every
+  attach as an owner).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ShmHandle", "ShmTensor", "ShmArena", "ShmLeakError"]
+
+_SEGMENT_COUNTER = itertools.count()
+
+
+class ShmLeakError(RuntimeError):
+    """An arena was closed while handles were still retained."""
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """Picklable description of one shared-memory tensor.
+
+    ``name`` is the segment name in the OS namespace (``/dev/shm/<name>``
+    on Linux); ``shape``/``dtype`` reconstruct the numpy view on attach.
+    """
+
+    name: str
+    shape: tuple
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+_ATTACH_LOCK = threading.Lock()
+
+
+class _suppress_tracker_registration:
+    """Keep an *attach* out of the resource tracker (attachers don't own).
+
+    On CPython < 3.13 every ``SharedMemory(name=...)`` attach is
+    registered with the resource tracker as if this process owned the
+    segment.  Spawned workers share the parent's tracker process, so an
+    attach in a worker followed by ``unregister`` would erase the
+    *owner's* registration (and a clean worker exit without unregister
+    would unlink memory the parent still uses).  Neither is acceptable:
+    we temporarily no-op shared-memory registration around the attach
+    call instead, leaving the creator's registration untouched — the
+    tracker still reclaims the segment if the owning process dies
+    without cleanup.
+    """
+
+    def __enter__(self):
+        from multiprocessing import resource_tracker
+
+        _ATTACH_LOCK.acquire()
+        self._module = resource_tracker
+        self._original = resource_tracker.register
+
+        def _skip(name, rtype, _orig=self._original):  # pragma: no cover
+            if rtype != "shared_memory":
+                _orig(name, rtype)
+
+        resource_tracker.register = _skip
+        return self
+
+    def __exit__(self, *exc):
+        self._module.register = self._original
+        _ATTACH_LOCK.release()
+
+
+class ShmTensor:
+    """A numpy array backed by one shared-memory segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, handle: ShmHandle,
+                 owner: bool, writable: bool):
+        self._shm = shm
+        self.handle = handle
+        self.owner = owner
+        array = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
+                           buffer=shm.buf)
+        if not writable:
+            array.flags.writeable = False
+        self.array = array
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, shape, dtype, name: str | None = None) -> "ShmTensor":
+        """Allocate a fresh zero-filled segment (creating process owns it)."""
+        shape = tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        nbytes = max(int(np.prod(shape, dtype=np.int64)) * dtype.itemsize, 1)
+        if name is None:
+            name = f"repro-{os.getpid()}-{next(_SEGMENT_COUNTER)}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        handle = ShmHandle(name=shm.name, shape=shape, dtype=dtype.str)
+        return cls(shm, handle, owner=True, writable=True)
+
+    @classmethod
+    def attach(cls, handle: ShmHandle, writable: bool = False) -> "ShmTensor":
+        """Map an existing segment created elsewhere (no ownership)."""
+        with _suppress_tracker_registration():
+            shm = shared_memory.SharedMemory(name=handle.name)
+        return cls(shm, handle, owner=False, writable=writable)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unmap the view.  The segment itself survives until unlink."""
+        self.array = None
+        try:
+            self._shm.close()
+        except BufferError:  # repro: ignore[RPR005] -- numpy views still alive; the mapping is released when they die, unlink still works
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; attachers must never unlink)."""
+        if not self.owner:
+            raise RuntimeError(
+                f"refusing to unlink {self.handle.name!r}: this process only "
+                f"attached the segment, it does not own it"
+            )
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # repro: ignore[RPR005] -- already unlinked (idempotent teardown path)
+            pass
+
+    def __enter__(self) -> "ShmTensor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _Block:
+    __slots__ = ("tensor", "refs", "condemned")
+
+    def __init__(self, tensor: ShmTensor):
+        self.tensor = tensor
+        self.refs = 1          # the arena's own reference
+        self.condemned = False
+
+
+def _finalize_blocks(lock: threading.Lock, blocks: dict) -> None:
+    """weakref.finalize target: last-resort unlink of surviving segments."""
+    with lock:
+        for block in blocks.values():
+            try:
+                block.tensor.close()
+                block.tensor.unlink()
+            except Exception:  # repro: ignore[RPR005] -- weakref.finalize last resort: never raise at interpreter exit
+                pass
+        blocks.clear()
+
+
+class ShmArena:
+    """Owner of a family of shared-memory tensors with refcounted handles.
+
+    The arena is the only party that ever unlinks.  ``retain``/``release``
+    bracket out-of-process use of a handle (e.g. one in-flight task per
+    retain); :meth:`condemn` marks a block for removal — it is unlinked
+    immediately if unreferenced, otherwise when the last reference
+    drains.  :meth:`close` unlinks everything still alive; a
+    ``weakref.finalize`` guard does the same if the arena is dropped
+    without close (and at interpreter exit), so segments cannot outlive
+    the owning process even on error paths.
+    """
+
+    def __init__(self, name: str = "arena"):
+        self.name = name
+        self._lock = threading.Lock()
+        self._blocks: dict[str, _Block] = {}
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _finalize_blocks, self._lock, self._blocks
+        )
+
+    # ------------------------------------------------------------------
+    def create(self, shape, dtype) -> ShmTensor:
+        """Allocate a zero-filled shared tensor owned by this arena."""
+        tensor = ShmTensor.create(shape, dtype)
+        with self._lock:
+            if self._closed:
+                tensor.close()
+                tensor.unlink()
+                raise RuntimeError(f"arena {self.name!r} is closed")
+            self._blocks[tensor.handle.name] = _Block(tensor)
+        return tensor
+
+    def put(self, array: np.ndarray) -> ShmTensor:
+        """Copy ``array`` into a fresh shared tensor (one memcpy)."""
+        array = np.ascontiguousarray(array)
+        tensor = self.create(array.shape, array.dtype)
+        tensor.array[...] = array
+        return tensor
+
+    # -- refcounting ---------------------------------------------------
+    def retain(self, name: str) -> None:
+        """One more out-of-arena reference to a block (e.g. an in-flight task)."""
+        with self._lock:
+            self._blocks[name].refs += 1
+
+    def release(self, name: str) -> None:
+        """Drop a reference; a condemned block unlinks on its last release."""
+        with self._lock:
+            block = self._blocks.get(name)
+            if block is None:
+                return  # already unlinked via close()
+            block.refs -= 1
+            if block.refs <= 0 and block.condemned:
+                del self._blocks[name]
+            else:
+                block = None
+        if block is not None:
+            block.tensor.close()
+            block.tensor.unlink()
+
+    def condemn(self, name: str) -> None:
+        """Mark a block for removal once its references drain."""
+        with self._lock:
+            block = self._blocks.get(name)
+            if block is None:
+                return
+            block.condemned = True
+            block.refs -= 1  # drop the arena's own reference
+            if block.refs <= 0:
+                del self._blocks[name]
+            else:
+                block = None
+        if block is not None:
+            block.tensor.close()
+            block.tensor.unlink()
+
+    def refcount(self, name: str) -> int:
+        with self._lock:
+            block = self._blocks.get(name)
+            return 0 if block is None else block.refs
+
+    def live_segments(self) -> list[str]:
+        """Names of segments this arena still owns (leak probe for tests)."""
+        with self._lock:
+            return sorted(self._blocks)
+
+    # ------------------------------------------------------------------
+    def close(self, strict: bool = False) -> None:
+        """Unlink every surviving segment.
+
+        ``strict=True`` raises :class:`ShmLeakError` when blocks still
+        carry out-of-arena references — the caller forgot a ``release``.
+        """
+        with self._lock:
+            self._closed = True
+            leaked = [n for n, b in self._blocks.items() if b.refs > 1]
+            blocks = list(self._blocks.values())
+            self._blocks.clear()
+        for block in blocks:
+            block.tensor.close()
+            block.tensor.unlink()
+        if strict and leaked:
+            raise ShmLeakError(
+                f"arena {self.name!r} closed with retained handles: {leaked}"
+            )
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,240 @@
+"""Process-backed serve inference with zero-copy shared-memory weights.
+
+The thread-based worker pool keeps its role (draining the micro-batch
+queue, stats, breaker) — what moves across the process boundary is the
+*compute* of each coalesced batch.  :class:`ProcServeBackend` owns a
+:class:`~repro.parallel.ProcessPool` plus a :class:`~repro.parallel.ShmArena`:
+
+* **Publish** — the first time a ``(checkpoint path, fingerprint)`` is
+  served, every parameter array is copied once into the arena; after
+  that, a batch ships only ~100-byte handles.  Pool children rebuild the
+  model skeleton from the config dict (:func:`repro.core.zoo.config_from_dict`)
+  and mount the shared weights read-only via
+  ``load_state_dict(..., copy=False)`` — N processes serve one physical
+  copy of the weights.
+* **Invalidate** — the backend registers a registry invalidation hook:
+  when a model is evicted or retrained over the same path, its weight
+  blocks are *condemned*, so they unlink as soon as the last in-flight
+  batch releases them (refcounts bracket every task).  Children key
+  their model cache by fingerprint, so a stale child cache entry can
+  never serve a new fingerprint's traffic.
+* **Compile** — children run the exact same
+  :func:`repro.serve.service.run_batch_inference` kernel as thread
+  workers; the inference compiler's plan cache is per-process, so
+  compiled plans rebuild naturally inside each child on first use.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from ..parallel import ProcessPool, ShmArena
+from ..parallel.shm import ShmTensor
+
+__all__ = ["ProcServeBackend"]
+
+
+# ---------------------------------------------------------------------------
+# child side
+# ---------------------------------------------------------------------------
+
+# Per-child cache of rebuilt models keyed by (path, fingerprint).  A pool
+# child executes tasks single-threaded, so no lock is needed; a respawned
+# child simply refills lazily.  Values hold the attached ShmTensors so the
+# mappings outlive the numpy weight views.
+_MODEL_CACHE: OrderedDict = OrderedDict()
+_MODEL_CACHE_CAP = 4
+
+
+def _mounted_model(payload: dict):
+    key = (payload["path"], tuple(payload["fingerprint"]))
+    cached = _MODEL_CACHE.get(key)
+    if cached is not None:
+        _MODEL_CACHE.move_to_end(key)
+        return cached
+    from ..core.models import build_model
+    from ..core.zoo import config_from_dict
+    from ..data.normalization import FieldNormalizer
+
+    config = config_from_dict(payload["config"], context=payload["path"])
+    model = build_model(
+        config, rng=np.random.default_rng(0), dtype=np.dtype(payload["dtype"])
+    )
+    tensors = {
+        name: ShmTensor.attach(handle)
+        for name, handle in payload["weights"].items()
+    }
+    model.load_state_dict(
+        {name: tensor.array for name, tensor in tensors.items()}, copy=False
+    )
+    model.eval()
+    normalizer = None
+    if payload["normalizer"] is not None:
+        normalizer = FieldNormalizer.from_state_dict(payload["normalizer"])
+    entry = (model, config, normalizer, tensors)
+    _MODEL_CACHE[key] = entry
+    while len(_MODEL_CACHE) > _MODEL_CACHE_CAP:
+        _, (_m, _c, _n, old) = _MODEL_CACHE.popitem(last=False)
+        for tensor in old.values():
+            tensor.close()
+    return entry
+
+
+def _infer_task(payload: dict) -> list[dict]:
+    """Pool task: rebuild/lookup the model, run one coalesced batch."""
+    from .service import run_batch_inference
+
+    model, config, normalizer, _tensors = _mounted_model(payload)
+    return run_batch_inference(
+        model, config, normalizer, payload["windows"],
+        mode=payload["mode"], cycles=payload["cycles"],
+        reynolds=payload["reynolds"], sample_interval=payload["sample_interval"],
+        solver_kind=payload["solver_kind"], deterministic=payload["deterministic"],
+        model_name=payload["name"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+
+class _PublishedModel:
+    __slots__ = ("weights", "config", "normalizer", "blocks", "dtype")
+
+    def __init__(self, weights: dict, config: dict, normalizer: dict | None,
+                 blocks: list, dtype: str):
+        self.weights = weights      # {param name: ShmHandle}
+        self.config = config
+        self.normalizer = normalizer
+        self.blocks = blocks        # segment names, for retain/condemn
+        self.dtype = dtype
+
+
+class ProcServeBackend:
+    """Ships coalesced-batch inference to a pool of worker processes.
+
+    Created by :class:`repro.serve.InferenceService` when constructed
+    with ``proc_workers > 0`` (CLI: ``repro serve --proc``).  Thread
+    workers call :meth:`infer` synchronously; each call retains the
+    model's weight blocks for the duration of the task, so registry
+    invalidation (which condemns the blocks) can never unlink memory a
+    child is still reading.
+    """
+
+    def __init__(self, registry, n_workers: int = 2, max_restarts: int = 8):
+        self.registry = registry
+        self.arena = ShmArena(name="serve-weights")
+        self.pool = ProcessPool(
+            int(n_workers), name="repro-serve", max_restarts=max_restarts
+        )
+        self._lock = threading.Lock()
+        self._published: dict[tuple, _PublishedModel] = {}
+        self._closed = False
+        registry.add_invalidation_hook(self._on_invalidate)
+
+    # ------------------------------------------------------------------
+    def _publish(self, entry) -> tuple[tuple, _PublishedModel]:
+        """Ensure ``entry``'s weights live in the arena; idempotent."""
+        key = (str(entry.path), tuple(entry.fingerprint))
+        with self._lock:
+            spec = self._published.get(key)
+        if spec is not None:
+            return key, spec
+        weights, blocks = {}, []
+        for name, value in entry.model.state_dict().items():
+            tensor = self.arena.put(value)
+            weights[name] = tensor.handle
+            blocks.append(tensor.handle.name)
+        normalizer = None
+        if entry.normalizer is not None:
+            state = entry.normalizer.state_dict()
+            normalizer = {
+                "n_fields": state["n_fields"],
+                "isotropic": bool(state.get("isotropic", False)),
+                "mean": np.asarray(state["mean"]),
+                "std": np.asarray(state["std"]),
+            }
+        spec = _PublishedModel(
+            weights, dict(entry.config.to_dict()), normalizer, blocks,
+            np.dtype(self.registry.dtype).str,
+        )
+        with self._lock:
+            existing = self._published.get(key)
+            if existing is None:
+                self._published[key] = spec
+                spec = None
+            else:
+                spec = existing
+        if spec is not None:
+            # Lost a publish race: drop our duplicate blocks, use theirs.
+            for name in blocks:
+                self.arena.condemn(name)
+            return key, spec
+        with self._lock:
+            return key, self._published[key]
+
+    def _on_invalidate(self, entry) -> None:
+        """Registry hook: a model left the cache — condemn its segments."""
+        key = (str(entry.path), tuple(entry.fingerprint))
+        with self._lock:
+            spec = self._published.pop(key, None)
+        if spec is not None:
+            for name in spec.blocks:
+                self.arena.condemn(name)
+
+    # ------------------------------------------------------------------
+    def infer(self, entry, windows, mode: str, cycles: int, reynolds: list,
+              sample_interval: float, solver_kind: str,
+              deterministic: bool) -> list[dict]:
+        """Run one coalesced batch in a pool child; blocks until done."""
+        key, spec = self._publish(entry)
+        payload = {
+            "path": key[0],
+            "fingerprint": key[1],
+            "name": entry.name,
+            "weights": spec.weights,
+            "config": spec.config,
+            "normalizer": spec.normalizer,
+            "dtype": spec.dtype,
+            "windows": np.asarray(windows),
+            "mode": mode,
+            "cycles": int(cycles),
+            "reynolds": [float(r) for r in reynolds],
+            "sample_interval": float(sample_interval),
+            "solver_kind": solver_kind,
+            "deterministic": bool(deterministic),
+        }
+        for name in spec.blocks:
+            self.arena.retain(name)
+        try:
+            return self.pool.call(_infer_task, payload)
+        finally:
+            for name in spec.blocks:
+                self.arena.release(name)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        pool = self.pool.stats()
+        with self._lock:
+            published = len(self._published)
+        return {
+            "workers": pool["workers"],
+            "alive": pool["alive"],
+            "restarts": pool["restarts"],
+            "tasks_done": pool["tasks_done"],
+            "published_models": published,
+            "shm_segments": len(self.arena.live_segments()),
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._published.clear()
+        self.pool.close()
+        self.arena.close()

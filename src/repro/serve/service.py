@@ -45,6 +45,66 @@ def _make_solver(kind: str, n: int, reynolds: float):
     return getattr(ns, _SOLVERS[kind])(n, nu)
 
 
+def run_batch_inference(
+    model,
+    config,
+    normalizer,
+    windows: np.ndarray,
+    mode: str,
+    cycles: int,
+    reynolds: list[float],
+    sample_interval: float,
+    solver_kind: str,
+    deterministic: bool,
+    model_name: str = "",
+) -> list[dict]:
+    """The compute kernel of one coalesced batch, free of service state.
+
+    Shared by the thread workers (called in-process) and the
+    process-pool backend (called inside pool children, where the model
+    is rebuilt from shared-memory weights).  Returns one
+    ``{times, velocity, source}`` dict per request; fault injection at
+    ``serve.worker.infer`` fires in whichever process executes the
+    batch, so kill scenarios hit the real worker.
+    """
+    windows = np.asarray(windows)
+    n = windows.shape[-1]
+    with obs.span(
+        "serve.batch", size=windows.shape[0], model=model_name, mode=mode
+    ), batch_invariant_kernels(deterministic):
+        if _faults.ACTIVE:
+            _faults.fire("serve.worker.infer", model=model_name, size=windows.shape[0])
+        if mode == "fno":
+            records = run_pure_fno_batched(
+                model,
+                windows,
+                n_snapshots=cycles * config.n_out,
+                n_fields=config.n_fields,
+                normalizer=normalizer,
+                sample_interval=sample_interval,
+            )
+        else:
+            solvers = [_make_solver(solver_kind, n, r) for r in reynolds]
+            hybrid_config = HybridConfig(
+                n_in=config.n_in,
+                n_out=config.n_out,
+                n_fields=config.n_fields,
+                sample_interval=sample_interval,
+                n_cycles=cycles,
+            )
+            records = run_hybrid_batched(
+                model,
+                solvers,
+                windows,
+                hybrid_config,
+                normalizer=normalizer,
+            )
+    return [
+        {"times": r.times, "velocity": r.velocity, "source": r.source}
+        for r in records
+    ]
+
+
 class InferenceService:
     """Long-running batched rollout service over a model registry.
 
@@ -84,6 +144,7 @@ class InferenceService:
         solver_kind: str = "fd",
         request_timeout: float = 60.0,
         breaker: CircuitBreaker | None = "default",
+        proc_workers: int = 0,
     ):
         if default_mode not in ("hybrid", "fno"):
             raise ValueError("default_mode must be 'hybrid' or 'fno'")
@@ -103,6 +164,14 @@ class InferenceService:
         self.stats = ServerStats()
         self.queue = BatchQueue(self.policy)
         self.workers = WorkerPool(self.queue, self._execute, n_workers=n_workers)
+        # Process-backed inference: the thread workers keep draining the
+        # micro-batch queue, but the compute of each batch is shipped to
+        # a pool child with zero-copy shared-memory weights.
+        self.proc = None
+        if proc_workers > 0:
+            from .serveproc import ProcServeBackend
+
+            self.proc = ProcServeBackend(self.registry, n_workers=proc_workers)
         self._lifecycle_lock = threading.Lock()
         self._started = False
 
@@ -119,6 +188,9 @@ class InferenceService:
             if self._started:
                 self.workers.stop()
                 self._started = False
+            if self.proc is not None:
+                self.proc.close()
+                self.proc = None
 
     def __enter__(self) -> "InferenceService":
         return self.start()
@@ -212,7 +284,6 @@ class InferenceService:
         cycles = first["cycles"]
         dt = first["sample_interval"]
         windows = np.stack([request.payload["window"] for request in batch])
-        n = windows.shape[-1]
 
         # Stage latency: how long each request sat in the queue before a
         # worker picked up its batch.
@@ -220,42 +291,21 @@ class InferenceService:
             self.stats.record_queue_wait(started - request.enqueued_at)
         self.stats.set_queue_depth(self.queue.depth())
 
+        reynolds = [request.payload["reynolds"] for request in batch]
         try:
-            with obs.span(
-                "serve.batch", size=len(batch), model=entry.name, mode=mode
-            ), batch_invariant_kernels(self.deterministic):
-                if _faults.ACTIVE:
-                    _faults.fire(
-                        "serve.worker.infer", model=entry.name, size=len(batch)
-                    )
-                if mode == "fno":
-                    records = run_pure_fno_batched(
-                        entry.model,
-                        windows,
-                        n_snapshots=cycles * config.n_out,
-                        n_fields=config.n_fields,
-                        normalizer=entry.normalizer,
-                        sample_interval=dt,
-                    )
-                else:
-                    solvers = [
-                        _make_solver(self.solver_kind, n, request.payload["reynolds"])
-                        for request in batch
-                    ]
-                    hybrid_config = HybridConfig(
-                        n_in=config.n_in,
-                        n_out=config.n_out,
-                        n_fields=config.n_fields,
-                        sample_interval=dt,
-                        n_cycles=cycles,
-                    )
-                    records = run_hybrid_batched(
-                        entry.model,
-                        solvers,
-                        windows,
-                        hybrid_config,
-                        normalizer=entry.normalizer,
-                    )
+            if self.proc is not None:
+                records = self.proc.infer(
+                    entry, windows, mode=mode, cycles=cycles, reynolds=reynolds,
+                    sample_interval=dt, solver_kind=self.solver_kind,
+                    deterministic=self.deterministic,
+                )
+            else:
+                records = run_batch_inference(
+                    entry.model, config, entry.normalizer, windows,
+                    mode=mode, cycles=cycles, reynolds=reynolds,
+                    sample_interval=dt, solver_kind=self.solver_kind,
+                    deterministic=self.deterministic, model_name=entry.name,
+                )
         except Exception as exc:
             # A failed batch degrades to per-request typed errors (the
             # waiting clients all get `exc`); consecutive failures trip
@@ -277,9 +327,9 @@ class InferenceService:
                 result={
                     "model": entry.name,
                     "mode": mode,
-                    "times": record.times,
-                    "velocity": record.velocity,
-                    "source": record.source,
+                    "times": record["times"],
+                    "velocity": record["velocity"],
+                    "source": record["source"],
                     "batch_size": len(batch),
                     "latency_s": now - request.enqueued_at,
                 }
@@ -307,6 +357,7 @@ class InferenceService:
                     "max_queue": self.policy.max_queue,
                 },
                 "workers": self.workers.alive,
+                "proc": self.proc.stats() if self.proc is not None else None,
                 "deterministic": self.deterministic,
                 "default_mode": self.default_mode,
                 "breaker": (

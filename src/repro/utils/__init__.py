@@ -1,4 +1,9 @@
-"""Shared utilities: RNG fan-out, timing, crash-safe I/O, parallel map."""
+"""Shared utilities: RNG fan-out, timing, crash-safe I/O.
+
+The old ``repro.utils.parallel`` serial-fallback map moved to
+:mod:`repro.parallel` (``parallel_map`` / ``default_workers``), which
+adds crash recovery, seeded worker streams and shared-memory tensors.
+"""
 
 from .artifacts import (
     CheckpointError,
@@ -13,12 +18,11 @@ from .artifacts import (
     verify_manifest,
     write_manifest,
 )
-from .parallel import default_workers, parallel_map
 from .rng import as_generator, spawn_rngs
 from .timing import LatencyStats, Timer, timed
 
 __all__ = [
-    "parallel_map", "default_workers", "spawn_rngs", "as_generator",
+    "spawn_rngs", "as_generator",
     "Timer", "timed", "LatencyStats",
     "CheckpointError", "atomic_write_npz", "atomic_write_bytes",
     "atomic_write_json", "guarded_npz_load",

@@ -21,6 +21,7 @@ class TestScenarios:
             "rollout_guard",
             "pipeline_resume",
             "supervisor_kill",
+            "proc_worker_kill",
         }
 
     @pytest.mark.parametrize("name", sorted(SCENARIOS))

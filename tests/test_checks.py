@@ -94,6 +94,13 @@ FIXTURES = {
         "        values[out_slot] = np.zeros((4, 4))\n"
         "    return run\n",
     ),
+    "RPR010": (
+        "src/repro/data/fixture_procs.py",
+        "import multiprocessing as mp\n"
+        "def f(fn, items):\n"
+        "    with mp.Pool(4) as pool:\n"
+        "        return pool.map(fn, items)\n",
+    ),
 }
 
 
@@ -114,6 +121,7 @@ def _write_fixture(tmp_path: Path, rule: str, suppress: bool = False) -> Path:
             "RPR007": "while True:",
             "RPR008": "np.savez_compressed",
             "RPR009": "np.zeros",
+            "RPR010": "mp.Pool(4)",
         }[rule]
         lines = [
             line + f"  # repro: ignore[{rule}] -- seeded fixture" if anchor in line else line

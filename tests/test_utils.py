@@ -1,4 +1,8 @@
-"""Utilities: RNG fan-out, timing, process-parallel map."""
+"""Utilities: RNG fan-out, timing, latency stats.
+
+The process-parallel map moved to :mod:`repro.parallel`; its tests
+live in ``tests/test_parallel.py`` now.
+"""
 
 import threading
 import time
@@ -10,37 +14,9 @@ from repro.utils import (
     LatencyStats,
     Timer,
     as_generator,
-    default_workers,
-    parallel_map,
     spawn_rngs,
     timed,
 )
-
-
-def _square(x):
-    return x * x
-
-
-class TestParallelMap:
-    def test_serial_preserves_order(self):
-        assert parallel_map(_square, [3, 1, 2], n_workers=1) == [9, 1, 4]
-
-    def test_parallel_matches_serial(self):
-        items = list(range(12))
-        assert parallel_map(_square, items, n_workers=2) == [x * x for x in items]
-
-    def test_empty(self):
-        assert parallel_map(_square, [], n_workers=4) == []
-
-    def test_single_item_runs_inline(self):
-        assert parallel_map(_square, [7], n_workers=8) == [49]
-
-    def test_default_workers_positive(self):
-        assert default_workers() >= 1
-
-    def test_lambda_works_serially(self):
-        # Serial path has no pickling requirement.
-        assert parallel_map(lambda x: x + 1, [1, 2], n_workers=1) == [2, 3]
 
 
 class TestRNG:
