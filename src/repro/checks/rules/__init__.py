@@ -12,11 +12,12 @@
 | RPR008 | artifact-integrity | raw np.savez / open-"wb" writes bypassing manifests |
 | RPR009 | compile-alloc-hygiene | fresh allocations / Tensor tape in plan-executed hot paths |
 | RPR010 | parallel-hygiene   | raw multiprocessing/SharedMemory bypassing repro.parallel |
+| RPR011 | trust-fidelity     | trust diagnostics fed cast/decimated predictions |
 """
 
-from . import api, artifacts, compile, dtype, faults, numerics, obs, parallel, rng, threads  # noqa: F401
+from . import api, artifacts, compile, dtype, faults, numerics, obs, parallel, rng, threads, trust  # noqa: F401
 
 __all__ = [
     "api", "artifacts", "compile", "dtype", "faults", "numerics", "obs",
-    "parallel", "rng", "threads",
+    "parallel", "rng", "threads", "trust",
 ]

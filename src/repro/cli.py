@@ -16,6 +16,7 @@ and observability::
     python -m repro.cli trace    run.trace.jsonl
     python -m repro.cli profile  benchmarks/bench_fig2_separation.py
     python -m repro.cli chaos    --seed-matrix 3
+    python -m repro.cli trust    --model model.npz --data data.npz
 
 Every option has a CPU-friendly default; the paper-scale settings are
 plain flag values away (``--grid 256 --reynolds 7500 --samples 5000``).
@@ -128,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--non-deterministic", action="store_true",
                    help="allow batch-size-dependent last-ulp differences for a faster "
                         "mode-mixing einsum")
+    s.add_argument("--trust", nargs="?", const="default", metavar="POLICY_JSON",
+                   help="attach per-request physics diagnostics, ensemble UQ, and a "
+                        "trust verdict to every /predict response; pass a "
+                        "`repro trust` calibration JSON for tuned thresholds, or "
+                        "no value for the report-only defaults")
     s.add_argument("--verbose", action="store_true", help="log every HTTP request")
 
     from repro.jobs.cli import (
@@ -167,6 +173,13 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.faults.cli import add_chaos_arguments
 
     add_chaos_arguments(ch)
+
+    tu = sub.add_parser(
+        "trust", help="calibrate trust-policy thresholds against a labelled dataset"
+    )
+    from repro.trust.cli import add_trust_arguments
+
+    add_trust_arguments(tu)
 
     from repro.obs.cli import add_profile_arguments, add_trace_arguments
 
@@ -369,6 +382,22 @@ def _cmd_serve(args) -> int:
     if not args.model:
         print("warning: no --model registered; requests must pass checkpoint paths",
               file=sys.stderr)
+    trust = None
+    if args.trust is not None:
+        from repro.trust import TrustPolicy
+
+        if args.trust == "default":
+            trust = TrustPolicy()
+        else:
+            import json
+
+            try:
+                with open(args.trust, encoding="utf-8") as fh:
+                    payload = json.load(fh)
+                trust = TrustPolicy.from_dict(payload.get("policy", payload))
+            except (OSError, ValueError) as exc:
+                print(f"error: {args.trust}: {exc}", file=sys.stderr)
+                return 2
     service = InferenceService(
         registry,
         policy=BatchPolicy(max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
@@ -378,6 +407,7 @@ def _cmd_serve(args) -> int:
         default_mode=args.default_mode,
         solver_kind=args.solver,
         proc_workers=args.serve_workers if args.proc else 0,
+        trust=trust,
     )
     serve_forever(service, host=args.host, port=args.port, verbose=args.verbose)
     return 0
@@ -419,6 +449,12 @@ def _cmd_chaos(args) -> int:
     return run_chaos(args)
 
 
+def _cmd_trust(args) -> int:
+    from repro.trust.cli import run_trust
+
+    return run_trust(args)
+
+
 def _cmd_trace(args) -> int:
     from repro.obs.cli import run_trace
 
@@ -444,6 +480,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "check": _cmd_check,
     "chaos": _cmd_chaos,
+    "trust": _cmd_trust,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
 }

@@ -294,6 +294,12 @@ def run_hybrid_batched(
                             sources[b].extend(["pde-fallback"] * cfg.n_out)
                             obs.event("hybrid.fallback", cycle=cycle, request=b,
                                       reason=reason)
+                            if reason.startswith("trust:"):
+                                # Physics-policy rejection (TrustGuard),
+                                # distinct from NaN/energy blow-up.
+                                obs.metrics_registry().counter(
+                                    "rollout_trust_fallbacks_total"
+                                ).inc()
                 if obs.enabled():
                     _emit_rollout_diagnostics(
                         snaps[0][-1], solvers[0].length,

@@ -336,6 +336,112 @@ def rollout_guard(seed: int, workdir: Path) -> list[dict]:
     return checks
 
 
+def trust_fallback(seed: int, workdir: Path) -> list[dict]:
+    """Finite physics-violating corruption (seeded ``noise`` faults) slips
+    past the NaN/energy guard but trips the *trust* policy: hybrid windows
+    fall back to the PDE with ``trust:`` provenance in the journal, and at
+    the serve layer an open trust breaker forces pure-FNO traffic onto the
+    hybrid path."""
+    from .. import obs
+    from ..ns import FDNSSolver2D
+    from ..obs.trace import load_trace
+    from ..trust import TrustGuard, TrustPolicy
+
+    checks = []
+    model = _build_model(seed)
+    windows = np.random.default_rng(seed).standard_normal(
+        (1, MODEL.n_in, MODEL.n_fields, GRID, GRID)
+    )
+    nu = 2.0 * np.pi / 400.0
+    cfg = HybridConfig(n_in=MODEL.n_in, n_out=MODEL.n_out,
+                       n_fields=MODEL.n_fields, sample_interval=0.01, n_cycles=2)
+
+    def noise_plan() -> FaultPlan:
+        return FaultPlan([FaultSpec("rollout.step", "noise", scale=1.0)], seed)
+
+    # The stock guard only sees NaNs and energy blow-ups: rms-sized white
+    # noise is finite and roughly energy-preserving, so the corrupted FNO
+    # windows sail through — the failure mode this scenario exists for.
+    with injection.active(noise_plan()):
+        plain = run_hybrid_batched(model, [FDNSSolver2D(GRID, nu)],
+                                   windows, cfg)[0]
+    checks.append(_check("nan-check-misses-physics-fault",
+                         "pde-fallback" not in plain.source
+                         and bool(np.all(np.isfinite(plain.velocity)))))
+
+    # TrustGuard measures divergence: the same fault now triggers PDE
+    # fallback, with reason provenance in the obs journal.
+    policy = TrustPolicy(max_rms_divergence=0.05, enforce=True)
+    trace = workdir / "trust.trace.jsonl"
+    obs.configure(trace_path=trace)
+    try:
+        with injection.active(noise_plan()):
+            guarded = run_hybrid_batched(
+                model, [FDNSSolver2D(GRID, nu)], windows, cfg,
+                guard=TrustGuard(policy=policy),
+            )[0]
+    finally:
+        obs.shutdown()
+    checks.append(_check("trust-guard-falls-back-to-pde",
+                         "pde-fallback" in guarded.source))
+    checks.append(_check("fallback-record-stays-finite",
+                         bool(np.all(np.isfinite(guarded.velocity)))))
+    reasons = [
+        rec.get("attrs", {}).get("reason", "")
+        for rec in load_trace(trace)
+        if rec.get("type") == "event" and rec.get("name") == "hybrid.fallback"
+    ]
+    checks.append(_check("journal-records-trust-provenance",
+                         bool(reasons)
+                         and all(r.startswith("trust:") for r in reasons),
+                         f"{len(reasons)} fallback events"))
+
+    # Serve layer: flagged responses open the trust breaker, after which
+    # fno requests are transparently served on the hybrid path.
+    from ..core.zoo import save_model
+    from ..serve import BatchPolicy, InferenceService, ModelRegistry
+
+    ckpt = workdir / "trust-serve.npz"
+    save_model(ckpt, model, MODEL)
+    registry = ModelRegistry()
+    registry.register("tiny", ckpt)
+    serve_policy = TrustPolicy(
+        max_rms_divergence=1e-6, enforce=True, members=2,
+        breaker_failures=2, breaker_reset_s=60.0,
+    )
+    service = InferenceService(
+        registry,
+        BatchPolicy(max_batch=1, max_wait_ms=0.5, max_queue=8),
+        n_workers=1, default_mode="fno", request_timeout=30.0,
+        breaker=None, trust=serve_policy,
+    )
+    with service:
+        for _ in range(serve_policy.breaker_failures):
+            out = service.predict("tiny", windows[0], mode="fno")
+        checks.append(_check("untrusted-response-flagged",
+                             out["trust"] is not None
+                             and not out["trust"]["trusted"]
+                             and out["diagnostics"] is not None
+                             and out["uncertainty"] is not None))
+        checks.append(_check("trust-breaker-opens",
+                             service.trust_breaker.state == "open"))
+        forced = service.predict("tiny", windows[0], mode="fno")
+        checks.append(_check("fno-forced-to-hybrid",
+                             forced["mode"] == "hybrid"
+                             and forced["mode_forced"] is True))
+        checks.append(_check("forced-response-stays-finite",
+                             bool(np.all(np.isfinite(forced["velocity"])))))
+        snapshot = service.stats_snapshot()
+        trust_slice = snapshot.get("trust")
+        checks.append(_check("stats-trust-snapshot",
+                             isinstance(trust_slice, dict)
+                             and {"policy", "breaker", "reports", "flagged"}
+                             <= set(trust_slice)
+                             and trust_slice["flagged"] >= 2))
+    checks.append(_check("injection-left-clean", not injection.ACTIVE))
+    return checks
+
+
 def _pipeline_config(seed: int):
     """The smallest PipelineConfig that still exercises all three stages."""
     from ..jobs import PipelineConfig
@@ -525,6 +631,7 @@ SCENARIOS = {
     "shard_resilience": shard_resilience,
     "serve_faults": serve_faults,
     "rollout_guard": rollout_guard,
+    "trust_fallback": trust_fallback,
     "pipeline_resume": pipeline_resume,
     "supervisor_kill": supervisor_kill,
     "proc_worker_kill": proc_worker_kill,

@@ -68,11 +68,15 @@ KNOWN_SITES = (
 # io_error   — raise InjectedIOError (an OSError; the retryable flavour)
 # delay      — time.sleep(spec.delay) at the site (slow worker / slow disk)
 # nan        — poison the site's array payload with a NaN (fire_value)
+# noise      — add seeded Gaussian noise (spec.scale × payload rms) to the
+#              site's array payload (fire_value): finite, roughly
+#              energy-preserving, but physics-violating (non-solenoidal) —
+#              the fault NaN checks cannot see and trust diagnostics can
 # partial_write — truncate the artifact mid-write (atomic_write_npz)
 # kill       — SIGKILL the current process at the site: no exception, no
 #              cleanup, no atexit — a power cut with a deterministic
 #              location.  For supervised-child chaos scenarios.
-KINDS = ("error", "io_error", "delay", "nan", "partial_write", "kill")
+KINDS = ("error", "io_error", "delay", "nan", "noise", "partial_write", "kill")
 
 
 class InjectedFault(RuntimeError):
@@ -118,6 +122,7 @@ class FaultSpec:
     times: int | None = None
     prob: float | None = None
     delay: float = 0.0
+    scale: float = 0.0
     message: str = ""
 
     def __post_init__(self):
@@ -131,6 +136,8 @@ class FaultSpec:
             raise ValueError("prob must be in [0, 1]")
         if self.delay < 0:
             raise ValueError("delay must be >= 0")
+        if self.scale < 0:
+            raise ValueError("scale must be >= 0")
 
     def to_dict(self) -> dict:
         return {k: v for k, v in asdict(self).items() if v not in (None, 0.0, "")
@@ -299,11 +306,26 @@ def fire(site: str, **ctx) -> tuple[FaultSpec, ...]:
 
 
 def fire_value(site: str, value, **ctx):
-    """:func:`fire`, then apply any ``nan`` payload to an array value."""
+    """:func:`fire`, then apply any ``nan``/``noise`` payload to an array.
+
+    Noise is drawn from a generator seeded by the plan seed, so the
+    corruption is a pure function of the plan — the same plan poisons
+    the same bits on every run (the chaos harness's determinism
+    contract), in the payload's native dtype.
+    """
+    plan = _plan
     for spec in fire(site, **ctx):
         if spec.kind == "nan":
             value = np.array(value, dtype=np.asarray(value).dtype, copy=True)
             value.reshape(-1)[0] = np.nan
+        elif spec.kind == "noise":
+            arr = np.array(value, dtype=np.asarray(value).dtype, copy=True)
+            rng = np.random.default_rng(plan.seed if plan is not None else 0)
+            amplitude = arr.dtype.type(
+                spec.scale * float(np.sqrt(np.mean(np.square(arr))))
+            )
+            noise = rng.standard_normal(arr.shape)
+            value = arr + amplitude * noise.astype(arr.dtype, copy=False)
     return value
 
 

@@ -11,8 +11,14 @@ Endpoints::
 
 ``/predict`` bodies carry the initial window as nested JSON lists of
 shape ``(n_in, n_fields, n, n)``; responses return the rolled-out
-snapshots the same way.  A full queue answers ``503`` with a
-``Retry-After`` header instead of blocking the client.
+snapshots the same way.  When the service carries a
+:class:`~repro.trust.TrustPolicy`, each response additionally includes
+``diagnostics`` (divergence / PDE residual / spectrum drift at the
+prediction's native dtype and grid), ``uncertainty`` (seeded-ensemble
+spread), ``trust`` (score, per-component scores, verdict), and
+``mode_forced`` (whether the trust breaker coerced the serving mode);
+``/stats`` gains a matching ``trust`` section.  A full queue answers
+``503`` with a ``Retry-After`` header instead of blocking the client.
 
 Built on ``http.server.ThreadingHTTPServer`` — one thread per
 connection, all funnelling into the shared micro-batch queue.

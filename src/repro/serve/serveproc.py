@@ -93,7 +93,7 @@ def _infer_task(payload: dict) -> list[dict]:
         mode=payload["mode"], cycles=payload["cycles"],
         reynolds=payload["reynolds"], sample_interval=payload["sample_interval"],
         solver_kind=payload["solver_kind"], deterministic=payload["deterministic"],
-        model_name=payload["name"],
+        model_name=payload["name"], trust=payload.get("trust"),
     )
 
 
@@ -189,8 +189,14 @@ class ProcServeBackend:
     # ------------------------------------------------------------------
     def infer(self, entry, windows, mode: str, cycles: int, reynolds: list,
               sample_interval: float, solver_kind: str,
-              deterministic: bool) -> list[dict]:
-        """Run one coalesced batch in a pool child; blocks until done."""
+              deterministic: bool, trust=None) -> list[dict]:
+        """Run one coalesced batch in a pool child; blocks until done.
+
+        ``trust`` (a frozen :class:`~repro.trust.TrustPolicy`, plain
+        floats/ints) pickles into the task payload, so diagnostics and
+        ensemble UQ run inside the child next to the forward pass and
+        only the reports travel back.
+        """
         key, spec = self._publish(entry)
         payload = {
             "path": key[0],
@@ -207,6 +213,7 @@ class ProcServeBackend:
             "sample_interval": float(sample_interval),
             "solver_kind": solver_kind,
             "deterministic": bool(deterministic),
+            "trust": trust,
         }
         for name in spec.blocks:
             self.arena.retain(name)

@@ -26,6 +26,7 @@ from ..core.hybrid import run_hybrid_batched, run_pure_fno_batched
 from ..faults import injection as _faults
 from ..faults.policy import CircuitBreaker, CircuitOpenError
 from ..tensor import batch_invariant_kernels
+from ..trust import TrustGuard, TrustPolicy, assess_prediction
 from .batching import BatchPolicy, BatchQueue, PredictRequest, QueueFullError
 from .registry import ModelRegistry
 from .stats import ServerStats
@@ -57,15 +58,20 @@ def run_batch_inference(
     solver_kind: str,
     deterministic: bool,
     model_name: str = "",
+    trust: TrustPolicy | None = None,
 ) -> list[dict]:
     """The compute kernel of one coalesced batch, free of service state.
 
     Shared by the thread workers (called in-process) and the
     process-pool backend (called inside pool children, where the model
     is rebuilt from shared-memory weights).  Returns one
-    ``{times, velocity, source}`` dict per request; fault injection at
-    ``serve.worker.infer`` fires in whichever process executes the
-    batch, so kill scenarios hit the real worker.
+    ``{times, velocity, source}`` dict per request — plus a ``trust``
+    bundle (diagnostics / uncertainty / trust report) when a
+    :class:`~repro.trust.TrustPolicy` is supplied, computed in whichever
+    process ran the batch so the proc backend ships reports, not extra
+    work, back to the parent.  Fault injection at ``serve.worker.infer``
+    fires in whichever process executes the batch, so kill scenarios hit
+    the real worker.
     """
     windows = np.asarray(windows)
     n = windows.shape[-1]
@@ -92,17 +98,46 @@ def run_batch_inference(
                 sample_interval=sample_interval,
                 n_cycles=cycles,
             )
+            # Enforcement arms the TrustGuard inside hybrid windows, so
+            # a physics-violating FNO block falls back to the PDE with
+            # "trust:" provenance; report-only mode keeps today's guard.
+            guard = (
+                TrustGuard(policy=trust, n_fields=config.n_fields)
+                if trust is not None and trust.enforce
+                else None
+            )
             records = run_hybrid_batched(
                 model,
                 solvers,
                 windows,
                 hybrid_config,
                 normalizer=normalizer,
+                **({"guard": guard} if guard is not None else {}),
             )
-    return [
-        {"times": r.times, "velocity": r.velocity, "source": r.source}
-        for r in records
-    ]
+        results = [
+            {"times": r.times, "velocity": r.velocity, "source": r.source}
+            for r in records
+        ]
+        if trust is not None and config.n_fields == 2:
+            length = 2.0 * np.pi
+            with obs.span("serve.trust", size=len(results)):
+                for i, record in enumerate(results):
+                    n_init = sum(1 for s in record["source"] if s == "init")
+                    bundle, velocity = assess_prediction(
+                        model,
+                        windows[i],
+                        record["velocity"],
+                        n_init=n_init,
+                        dt=sample_interval * length,
+                        viscosity=length / float(reynolds[i]),
+                        policy=trust,
+                        normalizer=normalizer,
+                        length=length,
+                    )
+                    if bundle is not None:
+                        record["velocity"] = velocity
+                        record["trust_bundle"] = bundle
+    return results
 
 
 class InferenceService:
@@ -132,6 +167,16 @@ class InferenceService:
         ``Retry-After``) until a half-open probe succeeds, instead of
         queueing work a sick backend will fail slowly.  Pass ``None``
         to disable.
+    trust:
+        :class:`repro.trust.TrustPolicy` attaching per-request physics
+        diagnostics, ensemble uncertainty, and a trust score to every
+        response (and ``/stats`` + ``/metrics``).  A second breaker
+        (``serve.trust``) counts *untrusted* responses; with
+        ``trust.enforce`` set, an open trust breaker forces ``fno``
+        requests onto the hybrid path — fallback on predicted
+        untrustworthiness, before anything goes non-finite.  Pass
+        ``None`` to disable all trust computation (single flag read per
+        batch).
     """
 
     def __init__(
@@ -145,6 +190,7 @@ class InferenceService:
         request_timeout: float = 60.0,
         breaker: CircuitBreaker | None = "default",
         proc_workers: int = 0,
+        trust: TrustPolicy | None = "default",
     ):
         if default_mode not in ("hybrid", "fno"):
             raise ValueError("default_mode must be 'hybrid' or 'fno'")
@@ -161,6 +207,18 @@ class InferenceService:
                 failure_threshold=5, reset_timeout=5.0, name="serve.workers"
             )
         self.breaker = breaker
+        if trust == "default":
+            trust = TrustPolicy()
+        self.trust = trust
+        self.trust_breaker = (
+            CircuitBreaker(
+                failure_threshold=trust.breaker_failures,
+                reset_timeout=trust.breaker_reset_s,
+                name="serve.trust",
+            )
+            if trust is not None
+            else None
+        )
         self.stats = ServerStats()
         self.queue = BatchQueue(self.policy)
         self.workers = WorkerPool(self.queue, self._execute, n_workers=n_workers)
@@ -223,6 +281,20 @@ class InferenceService:
             raise ValueError(f"unknown mode {mode!r} (choose 'hybrid' or 'fno')")
         if cycles < 1:
             raise ValueError("cycles must be >= 1")
+        # Predicted-untrustworthiness fallback: while the trust breaker
+        # is open (too many recent responses failed their physics
+        # checks), pure-FNO traffic is served on the stable hybrid path
+        # instead of being rejected — degraded latency, trusted physics.
+        mode_forced = False
+        if (
+            mode == "fno"
+            and self.trust is not None
+            and self.trust.enforce
+            and self.trust_breaker is not None
+            and self.trust_breaker.state == "open"
+        ):
+            mode = "hybrid"
+            mode_forced = True
         entry = self.registry.get(model)
         config = entry.config
         window = np.asarray(window, dtype=self.registry.dtype)
@@ -254,6 +326,7 @@ class InferenceService:
                 "cycles": int(cycles),
                 "reynolds": float(reynolds),
                 "sample_interval": float(sample_interval),
+                "mode_forced": mode_forced,
             },
         )
         if self.breaker is not None:
@@ -297,7 +370,7 @@ class InferenceService:
                 records = self.proc.infer(
                     entry, windows, mode=mode, cycles=cycles, reynolds=reynolds,
                     sample_interval=dt, solver_kind=self.solver_kind,
-                    deterministic=self.deterministic,
+                    deterministic=self.deterministic, trust=self.trust,
                 )
             else:
                 records = run_batch_inference(
@@ -305,6 +378,7 @@ class InferenceService:
                     mode=mode, cycles=cycles, reynolds=reynolds,
                     sample_interval=dt, solver_kind=self.solver_kind,
                     deterministic=self.deterministic, model_name=entry.name,
+                    trust=self.trust,
                 )
         except Exception as exc:
             # A failed batch degrades to per-request typed errors (the
@@ -323,13 +397,26 @@ class InferenceService:
             self.breaker.record_success()
         now = time.perf_counter()
         for request, record in zip(batch, records):
+            bundle = record.get("trust_bundle") or {}
+            report = bundle.get("trust")
+            if report is not None:
+                self.stats.record_trust(report["score"], report["trusted"])
+                if self.trust_breaker is not None:
+                    if report["trusted"]:
+                        self.trust_breaker.record_success()
+                    else:
+                        self.trust_breaker.record_failure()
             request.finish(
                 result={
                     "model": entry.name,
                     "mode": mode,
+                    "mode_forced": request.payload.get("mode_forced", False),
                     "times": record["times"],
                     "velocity": record["velocity"],
                     "source": record["source"],
+                    "uncertainty": bundle.get("uncertainty"),
+                    "diagnostics": bundle.get("diagnostics"),
+                    "trust": report,
                     "batch_size": len(batch),
                     "latency_s": now - request.enqueued_at,
                 }
@@ -362,6 +449,19 @@ class InferenceService:
                 "default_mode": self.default_mode,
                 "breaker": (
                     self.breaker.snapshot() if self.breaker is not None else None
+                ),
+                "trust": (
+                    {
+                        "policy": self.trust.to_dict(),
+                        "breaker": (
+                            self.trust_breaker.snapshot()
+                            if self.trust_breaker is not None
+                            else None
+                        ),
+                        **self.stats.trust_counts(),
+                    }
+                    if self.trust is not None
+                    else None
                 ),
             },
         )

@@ -44,6 +44,15 @@ class ServerStats:
             "serve_queue_wait_seconds", window=latency_window
         )
         self._queue_depth = self.registry.gauge("serve_queue_depth")
+        # Trust-layer instruments: last score as a gauge (dashboards),
+        # a windowed score distribution, and report/flag counters.  All
+        # exported over /metrics via the shared registry.
+        self._trust_score = self.registry.gauge("serve_trust_score")
+        self.trust_scores = self.registry.summary(
+            "serve_trust_score_window", window=latency_window
+        )
+        self._trust_reports = self.registry.counter("serve_trust_reports_total")
+        self._trust_flagged = self.registry.counter("serve_trust_flagged_total")
         self._latency_window = latency_window
 
     # -- recording -----------------------------------------------------
@@ -65,6 +74,13 @@ class ServerStats:
     def record_queue_wait(self, seconds: float) -> None:
         self.queue_wait.observe(seconds)
 
+    def record_trust(self, score: float, trusted: bool) -> None:
+        self._trust_score.set(float(score))
+        self.trust_scores.observe(float(score))
+        self._trust_reports.inc()
+        if not trusted:
+            self._trust_flagged.inc()
+
     def set_queue_depth(self, depth: int) -> None:
         self._queue_depth.set(depth)
 
@@ -84,6 +100,22 @@ class ServerStats:
     @property
     def n_rejected(self) -> int:
         return int(self._rejected.value)
+
+    @property
+    def n_trust_reports(self) -> int:
+        return int(self._trust_reports.value)
+
+    @property
+    def n_trust_flagged(self) -> int:
+        return int(self._trust_flagged.value)
+
+    def trust_counts(self) -> dict:
+        """The trust slice of ``/stats`` (reports, flags, score summary)."""
+        return {
+            "reports": self.n_trust_reports,
+            "flagged": self.n_trust_flagged,
+            "score": self.trust_scores.summary(),
+        }
 
     def _batch_sizes(self) -> dict[int, int]:
         return {

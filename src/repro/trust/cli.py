@@ -1,0 +1,80 @@
+"""``repro trust`` — calibrate trust thresholds for a deployed checkpoint.
+
+Replays a trajectory shard through the model, prints the distribution of
+every physics diagnostic and the ensemble spread, and proposes the
+``s = 0.5`` threshold points for the serving lattice (quantile × margin).
+The emitted JSON's ``policy`` object round-trips through
+``TrustPolicy.from_dict`` and is what ``repro serve`` style deployments
+should pin.
+
+Exit code 0 on success, 2 on bad inputs (missing checkpoint/shard, no
+calibration windows).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["add_trust_arguments", "run_trust"]
+
+
+def add_trust_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", required=True, metavar="PATH",
+                        help="model checkpoint (.npz) to calibrate")
+    parser.add_argument("--data", required=True, metavar="PATH",
+                        help="trajectory shard (.npz) of held-out data")
+    parser.add_argument("--members", type=int, default=3,
+                        help="ensemble members per window (default 3)")
+    parser.add_argument("--sigma", type=float, default=0.01,
+                        help="input-perturbation amplitude relative to window rms")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed for the per-window ensemble streams")
+    parser.add_argument("--quantile", type=float, default=0.95,
+                        help="calibration quantile of each metric (default 0.95)")
+    parser.add_argument("--margin", type=float, default=1.5,
+                        help="safety margin multiplied onto the quantile (default 1.5)")
+    parser.add_argument("--stride", type=int, default=1,
+                        help="window stride through each trajectory (default 1)")
+    parser.add_argument("--max-windows", type=int, default=256,
+                        help="cap on calibration windows (default 256)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool fan-out (default 1 = in-process)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the calibration JSON to PATH")
+
+
+def run_trust(args) -> int:
+    from ..utils.artifacts import CheckpointError
+    from .calibrate import CAL_METRICS, calibrate
+
+    try:
+        report = calibrate(
+            args.model, args.data,
+            members=args.members, sigma=args.sigma, seed=args.seed,
+            quantile=args.quantile, margin=args.margin, stride=args.stride,
+            max_windows=args.max_windows, n_workers=args.workers,
+        )
+    except (CheckpointError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    q_key = f"q{int(round(args.quantile * 100))}"
+    print(f"trust calibration: {report['windows']} windows, "
+          f"{report['members']} members, sigma {report['sigma']:g}")
+    header = f"{'metric':18s} {'mean':>10s} {'p50':>10s} {q_key:>10s} {'max':>10s} {'threshold':>10s}"
+    print(header)
+    print("-" * len(header))
+    for metric in CAL_METRICS:
+        row = report["metrics"][metric]
+        print(f"{metric:18s} {row['mean']:10.3e} {row['p50']:10.3e} "
+              f"{row[q_key]:10.3e} {row['max']:10.3e} "
+              f"{row['proposed_threshold']:10.3e}")
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0

@@ -20,10 +20,35 @@ from repro.data import (
 
 GRID = 32
 
+# Seed matrix for the trust-layer property tests: small, fast spectral
+# trajectories whose physics properties (round-off divergence, decaying
+# energy, small PDE residual) must hold for *every* seed, not a lucky one.
+TRUST_SEEDS = (0, 1, 2)
+
 
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def seed_matrix_trajectories():
+    """``{seed: (config, sample)}`` — one short spectral trajectory per seed."""
+    out = {}
+    for seed in TRUST_SEEDS:
+        config = DataGenConfig(
+            n=24,
+            reynolds=400.0,
+            n_samples=1,
+            warmup=0.1,
+            duration=0.3,
+            sample_interval=0.02,
+            solver="spectral",
+            ic="band",
+            seed=seed,
+        )
+        out[seed] = (config, generate_dataset(config, n_workers=1)[0])
+    return out
 
 
 @pytest.fixture(scope="session")

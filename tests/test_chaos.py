@@ -22,6 +22,7 @@ class TestScenarios:
             "pipeline_resume",
             "supervisor_kill",
             "proc_worker_kill",
+            "trust_fallback",
         }
 
     @pytest.mark.parametrize("name", sorted(SCENARIOS))

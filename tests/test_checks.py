@@ -101,6 +101,13 @@ FIXTURES = {
         "    with mp.Pool(4) as pool:\n"
         "        return pool.map(fn, items)\n",
     ),
+    "RPR011": (
+        "src/repro/core/fixture_trust.py",
+        "import numpy as np\n"
+        "from repro.trust import rms_divergence\n"
+        "def f(u):\n"
+        "    return rms_divergence(u.astype(np.float64))\n",
+    ),
 }
 
 
@@ -122,6 +129,7 @@ def _write_fixture(tmp_path: Path, rule: str, suppress: bool = False) -> Path:
             "RPR008": "np.savez_compressed",
             "RPR009": "np.zeros",
             "RPR010": "mp.Pool(4)",
+            "RPR011": "astype",
         }[rule]
         lines = [
             line + f"  # repro: ignore[{rule}] -- seeded fixture" if anchor in line else line
@@ -353,7 +361,7 @@ class TestCLI:
         out = capsys.readouterr().out
         for rule_id in (
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007",
-            "RPR008",
+            "RPR008", "RPR009", "RPR010", "RPR011",
         ):
             assert rule_id in out
 

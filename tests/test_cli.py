@@ -109,6 +109,24 @@ class TestInspectAndServeCLI:
         args = build_parser().parse_args(["serve", "--model", "a=x.npz", "--model", "y.npz"])
         assert args.model == ["a=x.npz", "y.npz"]
 
+    def test_serve_trust_flag_parsing(self):
+        assert build_parser().parse_args(["serve"]).trust is None
+        assert build_parser().parse_args(["serve", "--trust"]).trust == "default"
+        args = build_parser().parse_args(["serve", "--trust", "policy.json"])
+        assert args.trust == "policy.json"
+
+    def test_serve_rejects_bad_trust_policy(self, tmp_path, capsys):
+        rc = main(["serve", "--trust", str(tmp_path / "missing-policy.json")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "missing-policy.json" in err
+
+        bad = tmp_path / "bad-policy.json"
+        bad.write_text('{"max_rms_divergence": -1}')
+        rc = main(["serve", "--trust", str(bad)])
+        assert rc == 2
+        assert "must be positive" in capsys.readouterr().err
+
     def test_inspect_prints_config(self, tmp_path, capsys):
         from repro.core import ChannelFNOConfig, build_fno2d_channels, save_model
 

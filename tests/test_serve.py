@@ -499,3 +499,105 @@ class TestHTTP:
         except urllib.error.HTTPError as err:
             code = err.code
         assert code == 404
+
+
+# ---------------------------------------------------------------------------
+# trust layer: the extended /predict and /stats schema (regression pins)
+# ---------------------------------------------------------------------------
+
+
+class TestTrustServing:
+    """Every response must carry the trust bundle; defaults must not
+    change served bits (report-only enforcement)."""
+
+    DIAG_KEYS = {"finite", "rms_divergence", "pde_residual", "spectrum_drift",
+                 "dtype", "grid"}
+    UQ_KEYS = {"members", "sigma", "seed", "spread_rms", "spread_max",
+               "relative_spread"}
+    TRUST_KEYS = {"score", "trusted", "components", "reason"}
+
+    def _service(self, checkpoint, **kwargs):
+        reg = ModelRegistry()
+        reg.register("tiny", checkpoint)
+        return InferenceService(reg, n_workers=1, **kwargs)
+
+    def test_predict_carries_the_bundle_in_both_modes(self, checkpoint):
+        with self._service(checkpoint) as svc:
+            for mode in ("fno", "hybrid"):
+                out = svc.predict("tiny", window(), mode=mode, cycles=1,
+                                  sample_interval=0.02)
+                assert out["mode_forced"] is False
+                assert self.DIAG_KEYS <= set(out["diagnostics"])
+                assert set(out["uncertainty"]) == self.UQ_KEYS
+                assert set(out["trust"]) == self.TRUST_KEYS
+                assert 0.0 <= out["trust"]["score"] <= 1.0
+                assert out["diagnostics"]["dtype"] == str(out["velocity"].dtype)
+                assert out["diagnostics"]["grid"] == GRID
+                json.dumps({k: out[k] for k in
+                            ("diagnostics", "uncertainty", "trust", "mode_forced")})
+
+    def test_default_policy_does_not_alter_served_bits(self, checkpoint):
+        from repro.trust import TrustPolicy
+
+        w = window(seed=21)
+        with self._service(checkpoint, trust=None) as svc:
+            bare = svc.predict("tiny", w, mode="fno", cycles=2)
+        with self._service(checkpoint) as svc:
+            assessed = svc.predict("tiny", w, mode="fno", cycles=2)
+        assert np.array_equal(bare["velocity"], assessed["velocity"])
+        # report-only is the default: assessment must never enforce
+        assert TrustPolicy().enforce is False
+
+    def test_trust_none_disables_the_bundle(self, checkpoint):
+        with self._service(checkpoint, trust=None) as svc:
+            out = svc.predict("tiny", window(), mode="fno")
+            snap = svc.stats_snapshot()
+        assert out["diagnostics"] is None
+        assert out["uncertainty"] is None
+        assert out["trust"] is None
+        assert out["mode_forced"] is False
+        assert snap["trust"] is None
+
+    def test_bundle_is_deterministic(self, checkpoint):
+        w = window(seed=33)
+        outs = []
+        for _ in range(2):
+            with self._service(checkpoint) as svc:
+                outs.append(svc.predict("tiny", w, mode="fno", cycles=1))
+        assert outs[0]["uncertainty"] == outs[1]["uncertainty"]
+        assert outs[0]["diagnostics"] == outs[1]["diagnostics"]
+        assert outs[0]["trust"] == outs[1]["trust"]
+
+    def test_stats_trust_section_schema(self, checkpoint):
+        with self._service(checkpoint) as svc:
+            svc.predict("tiny", window(), mode="fno")
+            snap = svc.stats_snapshot()
+        trust = snap["trust"]
+        assert {"policy", "breaker", "reports", "flagged", "score"} <= set(trust)
+        assert trust["reports"] == 1
+        assert trust["breaker"]["state"] == "closed"
+        assert trust["policy"]["enforce"] is False
+        json.dumps(snap)
+
+    def test_http_predict_and_stats_expose_trust(self, http_service):
+        _, base = http_service
+        code, body, _ = _post(
+            f"{base}/predict",
+            {"model": "tiny", "window": window(seed=9).tolist(), "mode": "fno"},
+        )
+        assert code == 200
+        assert self.TRUST_KEYS == set(body["trust"])
+        assert self.DIAG_KEYS <= set(body["diagnostics"])
+        assert set(body["uncertainty"]) == self.UQ_KEYS
+        assert body["mode_forced"] is False
+
+        code, stats = _get(f"{base}/stats")
+        assert code == 200
+        assert stats["trust"]["reports"] >= 1
+
+    def test_metrics_expose_trust_gauges(self, checkpoint):
+        with self._service(checkpoint) as svc:
+            svc.predict("tiny", window(), mode="fno")
+            text = svc.stats.render_prometheus()
+        assert "repro_serve_trust_reports_total 1" in text
+        assert "repro_serve_trust_score" in text
