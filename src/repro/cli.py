@@ -10,6 +10,7 @@ and observability::
     python -m repro.cli analyze  src --format json
     python -m repro.cli inspect  model.npz
     python -m repro.cli serve    --model tiny=model.npz --port 8764
+    python -m repro.cli fleet    up --model tiny=model.npz --replicas 3
     python -m repro.cli run      --workdir runs/a --grid 16 --epochs 3
     python -m repro.cli resume   --workdir runs/a
     python -m repro.cli verify   --workdir runs/a
@@ -135,6 +136,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "`repro trust` calibration JSON for tuned thresholds, or "
                         "no value for the report-only defaults")
     s.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    s.add_argument("--replica-id", default="", metavar="ID",
+                   help="fleet replica identity reported in /healthz")
+    s.add_argument("--announce", default=None, metavar="PATH",
+                   help="atomically write {replica_id, host, port, pid} JSON "
+                        "after binding (fleet coordinators read the port back)")
+    s.add_argument("--heartbeat", default=None, metavar="PATH",
+                   help="emit supervisor heartbeats (atomic JSON) on PATH")
+    s.add_argument("--drain-grace", type=float, default=10.0, metavar="S",
+                   help="seconds SIGTERM lets in-flight requests finish "
+                        "before the replica exits")
 
     from repro.jobs.cli import (
         add_resume_arguments,
@@ -180,6 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.trust.cli import add_trust_arguments
 
     add_trust_arguments(tu)
+
+    fl = sub.add_parser(
+        "fleet", help="supervised multi-replica serving behind a health-routing gateway"
+    )
+    from repro.fleet.cli import add_fleet_arguments
+
+    add_fleet_arguments(fl)
 
     from repro.obs.cli import add_profile_arguments, add_trace_arguments
 
@@ -408,8 +426,11 @@ def _cmd_serve(args) -> int:
         solver_kind=args.solver,
         proc_workers=args.serve_workers if args.proc else 0,
         trust=trust,
+        replica_id=args.replica_id,
     )
-    serve_forever(service, host=args.host, port=args.port, verbose=args.verbose)
+    serve_forever(service, host=args.host, port=args.port, verbose=args.verbose,
+                  announce=args.announce, heartbeat=args.heartbeat,
+                  drain_grace=args.drain_grace)
     return 0
 
 
@@ -455,6 +476,12 @@ def _cmd_trust(args) -> int:
     return run_trust(args)
 
 
+def _cmd_fleet(args) -> int:
+    from repro.fleet.cli import run_fleet
+
+    return run_fleet(args)
+
+
 def _cmd_trace(args) -> int:
     from repro.obs.cli import run_trace
 
@@ -481,6 +508,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "chaos": _cmd_chaos,
     "trust": _cmd_trust,
+    "fleet": _cmd_fleet,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
 }

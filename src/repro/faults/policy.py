@@ -105,6 +105,14 @@ def call_with_retry(fn, *args, policy: RetryPolicy | None = None,
     Only exceptions matching ``policy.retry_on`` are retried; everything
     else propagates immediately.  A shared ``deadline`` caps the whole
     attempt sequence, sleeps included.
+
+    A retried exception may carry a ``retry_after`` attribute — the
+    server-supplied backoff hint of :class:`CircuitOpenError`, a 503's
+    ``Retry-After`` header, or a draining replica.  The pause before the
+    next attempt is raised to that hint (never lowered below the
+    policy's own schedule) and capped by ``policy.max_backoff``, so a
+    retrying client backs off *with* the breaker on the other side
+    instead of hammering it at the policy's base cadence.
     """
     policy = policy or RetryPolicy()
     delays = policy.delays()
@@ -120,6 +128,12 @@ def call_with_retry(fn, *args, policy: RetryPolicy | None = None,
             if on_retry is not None:
                 on_retry(attempt, exc)
             pause = delays[attempt]
+            hint = getattr(exc, "retry_after", None)
+            if hint is not None:
+                try:
+                    pause = min(max(pause, float(hint)), policy.max_backoff)
+                except (TypeError, ValueError):  # repro: ignore[RPR005] -- malformed server hint: keep the policy's own schedule
+                    pass
             if deadline is not None and pause > max(deadline.remaining(), 0.0):
                 raise
             sleep(pause)

@@ -1,0 +1,266 @@
+"""Fleet coordinator: spawn, supervise, and heal N serve replicas.
+
+The coordinator owns the replica child processes.  A single supervision
+thread watches every replica for two failure signals:
+
+* **exit** — ``proc.poll()`` reports the child died (SIGKILL, OOM,
+  crash); clean exits of *paused* replicas (deploys, operator stops)
+  are not failures;
+* **stall** — the child's heartbeat file stops advancing for
+  ``stall_timeout`` seconds (read through
+  :class:`repro.jobs.HeartbeatReader`, so torn reads never alias as
+  stalls); a stalled replica is SIGKILLed first, then restarted.
+
+Restarts draw from a seeded :class:`repro.faults.RetryPolicy` budget
+per replica: ``attempts - 1`` restarts with the policy's exponential
+backoff between them (crash-loops back off instead of spinning), after
+which the replica is marked ``failed`` and left down for the operator —
+the gateway's health lattice has long since ejected it.
+
+Deploys call :meth:`restart_replica`, which pauses supervision for that
+replica, drains the old incarnation (SIGTERM → graceful drain), spawns
+a fresh one — possibly with a new checkpoint — and resumes watching.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+from ..faults.policy import RetryPolicy
+from ..jobs.supervisor import HeartbeatReader
+from .replica import ReplicaProcess, ReplicaSpec
+
+__all__ = ["Coordinator"]
+
+_DEFAULT_RETRY = RetryPolicy(attempts=6, backoff=0.2, factor=2.0,
+                             max_backoff=5.0, retry_on=())
+
+
+class Coordinator:
+    """Supervisor of a fixed-size fleet of serve replicas."""
+
+    def __init__(self, spec: ReplicaSpec, n_replicas: int, workdir,
+                 retry: RetryPolicy = _DEFAULT_RETRY,
+                 stall_timeout: float = 5.0, poll_interval: float = 0.1,
+                 ready_timeout: float = 30.0, drain_timeout: float = 10.0,
+                 on_event=None, clock=time.monotonic, sleep=time.sleep):
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        self.workdir = Path(workdir)
+        self.retry = retry
+        self.stall_timeout = float(stall_timeout)
+        self.poll_interval = float(poll_interval)
+        self.ready_timeout = float(ready_timeout)
+        self.drain_timeout = float(drain_timeout)
+        self._on_event = on_event
+        self._clock = clock
+        self._sleep = sleep
+        self._delays = retry.delays()
+        self._lock = threading.RLock()
+        self._replicas: dict[str, ReplicaProcess] = {}
+        self._specs: dict[str, ReplicaSpec] = {
+            f"r{i}": spec for i in range(n_replicas)
+        }
+        self._restarts: dict[str, int] = {rid: 0 for rid in self._specs}
+        self._paused: set[str] = set()
+        self._failed: set[str] = set()
+        self._beats: dict[str, HeartbeatReader] = {}
+        self._beat_seen: dict[str, tuple[int, float]] = {}  # (seq, at)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- events --------------------------------------------------------
+    def _emit(self, event: str, replica: str, **extra) -> None:
+        if self._on_event is not None:
+            self._on_event({"event": event, "replica": replica, **extra})
+
+    # -- lifecycle -----------------------------------------------------
+    def _spawn(self, rid: str) -> ReplicaProcess:
+        """Spawn + await one replica. Caller holds the lock."""
+        proc = ReplicaProcess(rid, self._specs[rid], self.workdir)
+        proc.spawn()
+        self._emit("spawn", rid, pid=proc.pid)
+        proc.wait_ready(timeout=self.ready_timeout)
+        self._replicas[rid] = proc
+        self._beats[rid] = HeartbeatReader(proc.heartbeat_path)
+        self._beat_seen[rid] = (-1, self._clock())
+        self._emit("ready", rid, url=proc.base_url())
+        return proc
+
+    def start(self) -> "Coordinator":
+        with self._lock:
+            for rid in sorted(self._specs):
+                self._spawn(rid)
+        self._thread = threading.Thread(target=self._supervise, daemon=True,
+                                        name="repro-fleet-supervisor")
+        self._thread.start()
+        return self
+
+    def stop(self, graceful: bool = True) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+        with self._lock:
+            for rid, proc in sorted(self._replicas.items()):
+                if graceful:
+                    proc.terminate(timeout=self.drain_timeout)
+                else:
+                    proc.kill()
+                self._emit("stop", rid, returncode=proc.returncode())
+
+    def __enter__(self) -> "Coordinator":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- supervision ---------------------------------------------------
+    def _supervise(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            with self._lock:
+                watchable = [
+                    rid for rid in sorted(self._replicas)
+                    if rid not in self._paused and rid not in self._failed
+                ]
+            for rid in watchable:
+                if self._stop.is_set():
+                    return
+                self._check_one(rid)
+
+    def _check_one(self, rid: str) -> None:
+        with self._lock:
+            if rid in self._paused or rid in self._failed:
+                return
+            proc = self._replicas.get(rid)
+            if proc is None:
+                return
+            if not proc.alive():
+                self._emit("exit", rid, returncode=proc.returncode())
+                self._restart_locked(rid)
+                return
+            beat = self._beats[rid].read()
+            now = self._clock()
+            if beat is not None:
+                seq = int(beat.get("seq", -1))
+                seen_seq, seen_at = self._beat_seen[rid]
+                if seq != seen_seq:
+                    self._beat_seen[rid] = (seq, now)
+                elif now - seen_at > self.stall_timeout:
+                    self._emit("stall", rid, seq=seq,
+                               stalled_for=now - seen_at)
+                    proc.kill()
+                    self._restart_locked(rid)
+
+    def _restart_locked(self, rid: str) -> None:
+        """Restart a dead replica under the per-replica budget."""
+        self._restarts[rid] += 1
+        budget = self.retry.attempts - 1
+        if self._restarts[rid] > budget:
+            self._failed.add(rid)
+            self._emit("escalated", rid, restarts=self._restarts[rid])
+            return
+        delay = self._delays[min(self._restarts[rid] - 1,
+                                 len(self._delays) - 1)] if self._delays else 0.0
+        if delay:
+            self._sleep(delay)
+        try:
+            self._spawn(rid)
+            self._emit("restart", rid, restarts=self._restarts[rid])
+        except (RuntimeError, TimeoutError) as exc:
+            # The respawn itself failed; the next supervision pass sees
+            # the dead child and burns another restart from the budget.
+            self._emit("restart-failed", rid, error=str(exc))
+
+    # -- deploy hooks --------------------------------------------------
+    def pause(self, rid: str) -> None:
+        with self._lock:
+            self._paused.add(rid)
+
+    def resume(self, rid: str) -> None:
+        with self._lock:
+            self._paused.discard(rid)
+
+    def restart_replica(self, rid: str, spec: ReplicaSpec | None = None,
+                        graceful: bool = True) -> dict:
+        """Deliberately replace one replica (rolling deploys, rollbacks).
+
+        Pauses supervision for ``rid`` so the intentional death is not
+        double-counted as a crash, optionally swaps the spec (new
+        checkpoint), and resumes supervision once the new incarnation
+        announces.
+        """
+        with self._lock:
+            if rid not in self._specs:
+                raise KeyError(f"unknown replica {rid!r}")
+            self._paused.add(rid)
+        try:
+            with self._lock:
+                proc = self._replicas.get(rid)
+                if spec is not None:
+                    self._specs[rid] = spec
+            if proc is not None:
+                if graceful:
+                    proc.terminate(timeout=self.drain_timeout)
+                else:
+                    proc.kill()
+            with self._lock:
+                self._failed.discard(rid)
+                new = self._spawn(rid)
+                return dict(new.address or {})
+        finally:
+            with self._lock:
+                self._paused.discard(rid)
+
+    def kill_replica(self, rid: str) -> int | None:
+        """Chaos hook: SIGKILL a replica *without* pausing supervision.
+
+        The supervision thread sees the exit on its next poll and heals
+        the fleet through the ordinary restart-budget path — exactly the
+        sequence the ``replica_kill`` scenario asserts on.
+        """
+        with self._lock:
+            proc = self._replicas.get(rid)
+        if proc is None:
+            return None
+        return proc.kill()
+
+    # -- views ---------------------------------------------------------
+    def replica_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._specs)
+
+    def urls(self) -> dict:
+        """Live routing table: replica id → base URL (dead => absent)."""
+        with self._lock:
+            return {
+                rid: proc.base_url()
+                for rid, proc in sorted(self._replicas.items())
+                if proc.base_url() is not None
+            }
+
+    def spec_of(self, rid: str) -> ReplicaSpec:
+        with self._lock:
+            return self._specs[rid]
+
+    def restarts(self, rid: str) -> int:
+        with self._lock:
+            return self._restarts[rid]
+
+    def status(self) -> dict:
+        with self._lock:
+            replicas = {}
+            for rid in sorted(self._specs):
+                proc = self._replicas.get(rid)
+                replicas[rid] = {
+                    "replica_id": rid,
+                    "pid": proc.pid if proc else None,
+                    "alive": bool(proc and proc.alive()),
+                    "url": proc.base_url() if proc else None,
+                    "checkpoint": self._specs[rid].checkpoint,
+                    "restarts": self._restarts[rid],
+                    "paused": rid in self._paused,
+                    "failed": rid in self._failed,
+                }
+            return {"replicas": replicas}

@@ -1,0 +1,99 @@
+"""Consistent-hash ring: request keys → replicas, with minimal churn.
+
+Each replica owns ``vnodes`` pseudo-random points on a 64-bit ring
+(sha256 of ``"{replica}#{v}"`` — no process state, no RNG, so every
+gateway instance computes the identical ring).  A request key routes to
+the first replica point clockwise from the key's own hash.  Ejecting a
+replica only re-maps the keys that replica owned; everyone else keeps
+their assignment — the property the fleet's cache/solver locality and
+the chaos determinism checks both lean on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+
+def _point(label: str) -> int:
+    """64-bit ring position of a label; stable across processes."""
+    return int.from_bytes(hashlib.sha256(label.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Immutable-per-mutation sorted ring of replica virtual nodes.
+
+    Not thread-safe by itself: the gateway mutates membership only under
+    its own lock, and routing reads a snapshot tuple.
+    """
+
+    def __init__(self, nodes=(), vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._nodes: set[str] = set()
+        self._ring: list[tuple[int, str]] = []  # sorted (point, node)
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ----------------------------------------------------
+    def add(self, node: str) -> None:
+        node = str(node)
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for v in range(self.vnodes):
+            entry = (_point(f"{node}#{v}"), node)
+            bisect.insort(self._ring, entry)
+
+    def remove(self, node: str) -> None:
+        node = str(node)
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._ring = [entry for entry in self._ring if entry[1] != node]
+
+    def nodes(self) -> set[str]:
+        return set(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- routing -------------------------------------------------------
+    def preference(self, key: str, limit: int | None = None) -> list[str]:
+        """Distinct replicas in ring order from ``key``'s successor.
+
+        The first entry is the key's owner; the rest are the fallback
+        order a gateway walks when retrying on another replica.  The
+        list is a pure function of (membership, key) — retries are as
+        deterministic as first placements.
+        """
+        if not self._ring:
+            return []
+        want = len(self._nodes) if limit is None else min(limit, len(self._nodes))
+        start = bisect.bisect_right(self._ring, (_point(str(key)), chr(0x10FFFF)))
+        seen: list[str] = []
+        marked: set[str] = set()
+        n = len(self._ring)
+        for i in range(n):
+            node = self._ring[(start + i) % n][1]
+            if node not in marked:
+                marked.add(node)
+                seen.append(node)
+                if len(seen) >= want:
+                    break
+        return seen
+
+    def route(self, key: str, healthy=None) -> str | None:
+        """Owner of ``key`` among ``healthy`` nodes (all, when ``None``).
+
+        ``healthy`` is a container supporting ``in``; the walk skips
+        ejected replicas, so keys owned by a sick replica spill to their
+        ring successor and *only* those keys move.
+        """
+        for node in self.preference(key):
+            if healthy is None or node in healthy:
+                return node
+        return None

@@ -1,0 +1,236 @@
+"""Per-replica health scoring: a min-lattice over /healthz observations.
+
+The gateway polls each replica's ``/healthz`` (one cheap JSON document)
+and folds it into a **health score lattice**, deliberately shaped like
+:mod:`repro.trust`'s trust score: every component maps into ``[0, 1]``,
+the overall score is the *meet* (minimum), and a replica is routable iff
+its score clears ``eject_below``.  Components:
+
+* ``reachable`` — 1 while polls succeed and are fresh, 0 on connection
+  failure or staleness (a SIGKILLed replica scores 0 within one poll);
+* ``admission`` — 0 while the replica reports ``draining``;
+* ``breaker`` / ``trust_breaker`` — closed 1, half-open 0.5, open 0;
+* ``trust`` — the replica's trust-score EWMA (1 when trust is off);
+* ``queue`` — ``1 - depth/limit`` (a saturated queue scores 0).
+
+Ejection/readmission is a per-replica half-open state machine:
+``admitted → ejected`` when the score drops below ``eject_below``;
+after ``readmit_after_s`` of quiet the replica turns ``probing`` and
+admits a bounded number of probe requests (or counts healthy polls);
+``probe_successes`` successes readmit it, one failure re-ejects and
+restarts the cooldown.  All transitions take an injectable clock, so
+the unit tests pin them exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["HealthPolicy", "ReplicaHealth", "FleetHealth"]
+
+_BREAKER_SCORES = {"closed": 1.0, "half_open": 0.5, "open": 0.0, None: 1.0}
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds of the ejection/readmission state machine."""
+
+    eject_below: float = 0.5
+    stale_after_s: float = 3.0
+    readmit_after_s: float = 1.0
+    probe_successes: int = 1
+    probe_max: int = 1
+
+    def __post_init__(self):
+        if not 0.0 <= self.eject_below <= 1.0:
+            raise ValueError("eject_below must be in [0, 1]")
+        if self.probe_successes < 1 or self.probe_max < 1:
+            raise ValueError("probe_successes and probe_max must be >= 1")
+
+
+class ReplicaHealth:
+    """One replica's observed health and routing admission state.
+
+    Not thread-safe on its own — :class:`FleetHealth` serialises access.
+    """
+
+    def __init__(self, replica_id: str, policy: HealthPolicy):
+        self.replica_id = replica_id
+        self.policy = policy
+        self.state = "admitted"  # optimistic start: route until proven sick
+        self.payload: dict | None = None
+        self.last_ok: float | None = None
+        self.last_failure: float | None = None
+        self.ejected_at: float | None = None
+        self.ejections = 0
+        self.probe_inflight = 0
+        self.probe_successes = 0
+
+    # -- lattice -------------------------------------------------------
+    def components(self, now: float) -> dict:
+        reachable = 1.0
+        if self.last_ok is None:
+            reachable = 0.0 if self.last_failure is not None else 1.0
+        else:
+            if self.last_failure is not None and self.last_failure >= self.last_ok:
+                reachable = 0.0
+            elif now - self.last_ok > self.policy.stale_after_s:
+                reachable = 0.0
+        out = {"reachable": reachable}
+        payload = self.payload
+        if payload is None:
+            return out
+        out["admission"] = 0.0 if payload.get("status") == "draining" else 1.0
+        out["breaker"] = _BREAKER_SCORES.get(payload.get("breaker"), 0.0)
+        out["trust_breaker"] = _BREAKER_SCORES.get(payload.get("trust_breaker"), 0.0)
+        trust = payload.get("trust")
+        ewma = trust.get("ewma") if isinstance(trust, dict) else None
+        out["trust"] = 1.0 if ewma is None else min(max(float(ewma), 0.0), 1.0)
+        limit = payload.get("queue_limit") or 0
+        depth = payload.get("queue_depth") or 0
+        out["queue"] = (
+            max(0.0, 1.0 - float(depth) / float(limit)) if limit else 1.0
+        )
+        return out
+
+    def score(self, now: float) -> float:
+        return min(self.components(now).values())
+
+    # -- transitions ---------------------------------------------------
+    def _eject(self, now: float) -> None:
+        if self.state != "ejected":
+            self.ejections += 1
+        self.state = "ejected"
+        self.ejected_at = now
+        self.probe_inflight = 0
+        self.probe_successes = 0
+
+    def _maybe_probe(self, now: float) -> None:
+        if self.state != "ejected":
+            return
+        quiet_since = max(
+            self.ejected_at if self.ejected_at is not None else 0.0,
+            self.last_failure if self.last_failure is not None else 0.0,
+        )
+        if now - quiet_since >= self.policy.readmit_after_s:
+            self.state = "probing"
+            self.probe_inflight = 0
+            self.probe_successes = 0
+
+    def _probe_success(self) -> None:
+        self.probe_successes += 1
+        if self.probe_successes >= self.policy.probe_successes:
+            self.state = "admitted"
+
+    def observe(self, payload: dict, now: float) -> None:
+        """Fold a successful ``/healthz`` poll into the state machine."""
+        self.payload = payload
+        self.last_ok = now
+        self._maybe_probe(now)
+        healthy = self.score(now) >= self.policy.eject_below
+        if self.state == "admitted" and not healthy:
+            self._eject(now)
+        elif self.state == "probing":
+            if healthy:
+                self._probe_success()
+            else:
+                self._eject(now)
+
+    def observe_error(self, now: float) -> None:
+        """A failed poll: the replica is unreachable until proven live."""
+        self.last_failure = now
+        if self.state in ("admitted", "probing"):
+            self._eject(now)
+
+    def admit(self, now: float) -> bool:
+        """May the gateway route a request here right now?"""
+        self._maybe_probe(now)
+        if self.state == "admitted":
+            return True
+        if self.state == "probing" and self.probe_inflight < self.policy.probe_max:
+            self.probe_inflight += 1
+            return True
+        return False
+
+    def record_result(self, ok: bool, now: float) -> None:
+        """Gateway feedback after a routed request finished or failed."""
+        if self.probe_inflight > 0:
+            self.probe_inflight -= 1
+        if ok:
+            if self.state == "probing":
+                self._probe_success()
+        else:
+            self.last_failure = now
+            self._eject(now)
+
+    def snapshot(self, now: float) -> dict:
+        components = self.components(now)
+        return {
+            "replica_id": self.replica_id,
+            "state": self.state,
+            "score": min(components.values()),
+            "components": components,
+            "ejections": self.ejections,
+        }
+
+
+class FleetHealth:
+    """Thread-safe registry of :class:`ReplicaHealth` records."""
+
+    def __init__(self, policy: HealthPolicy | None = None, clock=time.monotonic):
+        self.policy = policy or HealthPolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._replicas: dict[str, ReplicaHealth] = {}
+
+    def _ensure(self, replica_id: str) -> ReplicaHealth:
+        record = self._replicas.get(replica_id)
+        if record is None:
+            record = ReplicaHealth(replica_id, self.policy)
+            self._replicas[replica_id] = record
+        return record
+
+    def add(self, replica_id: str) -> None:
+        with self._lock:
+            self._ensure(replica_id)
+
+    def remove(self, replica_id: str) -> None:
+        with self._lock:
+            self._replicas.pop(replica_id, None)
+
+    def observe(self, replica_id: str, payload: dict) -> None:
+        with self._lock:
+            self._ensure(replica_id).observe(payload, self._clock())
+
+    def observe_error(self, replica_id: str) -> None:
+        with self._lock:
+            self._ensure(replica_id).observe_error(self._clock())
+
+    def admit(self, replica_id: str) -> bool:
+        with self._lock:
+            return self._ensure(replica_id).admit(self._clock())
+
+    def record_result(self, replica_id: str, ok: bool) -> None:
+        with self._lock:
+            self._ensure(replica_id).record_result(ok, self._clock())
+
+    def state_of(self, replica_id: str) -> str:
+        with self._lock:
+            return self._ensure(replica_id).state
+
+    def admitted_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(
+                rid for rid, record in self._replicas.items()
+                if record.state == "admitted"
+            )
+
+    def snapshot(self) -> dict:
+        now = self._clock()
+        with self._lock:
+            return {
+                rid: self._replicas[rid].snapshot(now)
+                for rid in sorted(self._replicas)
+            }

@@ -15,6 +15,7 @@ from .retention import gc_artifacts
 from .supervisor import (
     EXIT_DIVERGED,
     Heartbeat,
+    HeartbeatReader,
     Supervisor,
     child_command,
     read_heartbeat,
@@ -33,6 +34,7 @@ __all__ = [
     "gc_artifacts",
     "EXIT_DIVERGED",
     "Heartbeat",
+    "HeartbeatReader",
     "Supervisor",
     "child_command",
     "read_heartbeat",

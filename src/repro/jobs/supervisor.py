@@ -33,8 +33,8 @@ from pathlib import Path
 from ..faults.policy import Deadline, RetryPolicy
 from ..utils.artifacts import atomic_write_json
 
-__all__ = ["EXIT_DIVERGED", "Heartbeat", "read_heartbeat", "Supervisor",
-           "child_command"]
+__all__ = ["EXIT_DIVERGED", "Heartbeat", "read_heartbeat", "HeartbeatReader",
+           "Supervisor", "child_command"]
 
 # Exit code `repro run --child` uses for RolloutDiverged: the supervisor
 # must be able to tell "crashed, retry" from "diverged, escalate"
@@ -94,12 +94,38 @@ class Heartbeat:
         self.stop()
 
 
-def read_heartbeat(path) -> dict | None:
-    """Parse a heartbeat file; None when absent or torn mid-write."""
+def read_heartbeat(path, last: dict | None = None) -> dict | None:
+    """Parse a heartbeat file; ``last`` when unreadable, torn, or absent.
+
+    The writer publishes beats via ``os.replace``, but a reader racing
+    the replace (or a beat written by a non-atomic writer over NFS) can
+    observe a partial/empty JSON document.  A torn read must not look
+    like a *missed* beat — a supervisor that treats it as silence will
+    SIGKILL a perfectly live child — so the caller passes the last
+    successfully parsed value and gets it back instead of ``None``.
+    """
     try:
         return json.loads(Path(path).read_text(encoding="utf-8"))
     except (FileNotFoundError, json.JSONDecodeError, UnicodeDecodeError, OSError):
-        return None
+        return last
+
+
+class HeartbeatReader:
+    """Stateful :func:`read_heartbeat` wrapper holding the last-good beat.
+
+    ``read()`` returns the freshest parseable beat, falling back to the
+    previous good value across torn or partial reads; ``age_of(beat)``
+    style staleness logic stays with the caller, which also keeps the
+    injectable clock it measures with.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.last: dict | None = None
+
+    def read(self) -> dict | None:
+        self.last = read_heartbeat(self.path, last=self.last)
+        return self.last
 
 
 class Supervisor:
@@ -162,7 +188,9 @@ class Supervisor:
                     return rc, "diverged"
                 return rc, "crashed"
             if deadline is not None:
-                beat = read_heartbeat(self.heartbeat_path)
+                # last-good fallback: a read torn by the writer's
+                # os.replace must not register as a missed beat.
+                beat = read_heartbeat(self.heartbeat_path, last=last_beat)
                 if beat != last_beat and beat is not None:
                     last_beat = beat
                     deadline = Deadline(self.stall_timeout, clock=self._clock)

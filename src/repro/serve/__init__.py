@@ -25,13 +25,13 @@ Everything is stdlib + numpy; ``repro serve`` is the CLI entry point.
 from .batching import BatchPolicy, BatchQueue, PredictRequest, QueueFullError
 from .httpd import make_server, serve_forever
 from .registry import LoadedModel, ModelNotFound, ModelRegistry
-from .service import InferenceService
+from .service import InferenceService, ServiceDraining
 from .stats import ServerStats
 from .workers import WorkerPool
 
 __all__ = [
     "BatchPolicy", "BatchQueue", "PredictRequest", "QueueFullError",
     "ModelRegistry", "LoadedModel", "ModelNotFound",
-    "InferenceService", "ServerStats", "WorkerPool",
+    "InferenceService", "ServerStats", "ServiceDraining", "WorkerPool",
     "make_server", "serve_forever",
 ]

@@ -2,11 +2,12 @@
 
 Endpoints::
 
-    GET  /healthz          liveness probe
+    GET  /healthz          liveness + replica health (id, breakers, queue, trust EWMA)
     GET  /stats            counters, batch histogram, latency percentiles
     GET  /metrics          Prometheus text exposition (same instruments)
     GET  /models           registry listing (config/params per model)
     POST /models/evict     {"name": ...} → drop a model from the cache
+    POST /drain            stop admitting requests (graceful deploy/stop)
     POST /predict          {"model", "window", "mode"?, "cycles"?, ...}
 
 ``/predict`` bodies carry the initial window as nested JSON lists of
@@ -34,7 +35,7 @@ import numpy as np
 from ..faults.policy import CircuitOpenError
 from .batching import QueueFullError
 from .registry import ModelNotFound
-from .service import InferenceService
+from .service import InferenceService, ServiceDraining
 
 __all__ = ["make_server", "serve_forever"]
 
@@ -93,7 +94,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
         if self.path == "/healthz":
-            self._send_json(200, {"status": "ok"})
+            self._send_json(200, self.service.healthz_snapshot())
         elif self.path == "/stats":
             self._send_json(200, self.service.stats_snapshot())
         elif self.path == "/metrics":
@@ -111,6 +112,8 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 body = self._read_body()
                 evicted = self.service.registry.evict(str(body.get("name", "")))
                 self._send_json(200, {"evicted": bool(evicted)})
+            elif self.path == "/drain":
+                self._send_json(200, self.service.drain())
             else:
                 self._send_json(404, {"error": f"no route {self.path}"})
         except (ValueError, KeyError, TypeError) as exc:
@@ -130,7 +133,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
         except ModelNotFound as exc:
             self._send_json(404, {"error": str(exc)})
             return
-        except (QueueFullError, CircuitOpenError) as exc:
+        except (QueueFullError, CircuitOpenError, ServiceDraining) as exc:
             self._send_json(
                 503,
                 {"error": str(exc), "retry_after_s": exc.retry_after},
@@ -166,11 +169,60 @@ def make_server(service: InferenceService, host: str = "127.0.0.1", port: int = 
 
 
 def serve_forever(service: InferenceService, host: str = "127.0.0.1", port: int = 8764,
-                  verbose: bool = False) -> None:
-    """Start the service + HTTP server and block until interrupted."""
+                  verbose: bool = False, announce=None, heartbeat=None,
+                  heartbeat_interval: float = 0.25,
+                  drain_grace: float = 10.0) -> None:
+    """Start the service + HTTP server and block until interrupted.
+
+    Fleet hooks: ``announce`` names a JSON file atomically written after
+    the bind with ``{replica_id, host, port, pid}`` (the coordinator
+    reads the actual port back — replicas bind ``port=0``);
+    ``heartbeat`` arms a :class:`repro.jobs.supervisor.Heartbeat` writer
+    on that path.  SIGTERM triggers a *graceful drain*: admission stops
+    (503 + Retry-After), in-flight requests get up to ``drain_grace``
+    seconds to finish, then the server exits cleanly — so a supervised
+    replica asked to stop never drops accepted work.
+    """
+    import os
+    import signal
+    import threading
+    import time
+
     server = make_server(service, host, port, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
     service.start()
+    beat = None
+    if heartbeat is not None:
+        from ..jobs.supervisor import Heartbeat
+
+        beat = Heartbeat(heartbeat, interval=heartbeat_interval).start()
+    if announce is not None:
+        from ..utils.artifacts import atomic_write_json
+
+        atomic_write_json(announce, {
+            "replica_id": service.replica_id,
+            "host": bound_host,
+            "port": int(bound_port),
+            "pid": os.getpid(),
+        })
+
+    def _drain_then_shutdown() -> None:
+        service.drain()
+        deadline = time.monotonic() + drain_grace
+        while time.monotonic() < deadline:
+            if service.inflight == 0 and service.queue.depth() == 0:
+                break
+            time.sleep(0.05)
+        server.shutdown()
+
+    def _on_sigterm(signum, frame):  # noqa: ARG001 — signal signature
+        threading.Thread(target=_drain_then_shutdown, daemon=True,
+                         name="repro-serve-drain").start()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # repro: ignore[RPR005] -- not the main thread (embedded use): no signal hook
+        pass
     print(f"repro-serve listening on http://{bound_host}:{bound_port} "
           f"(models: {', '.join(service.registry.names()) or 'none registered'})",
           flush=True)
@@ -179,6 +231,8 @@ def serve_forever(service: InferenceService, host: str = "127.0.0.1", port: int 
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
+        if beat is not None:
+            beat.stop()
         server.shutdown()
         server.server_close()
         service.stop()

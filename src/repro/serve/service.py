@@ -14,6 +14,7 @@ windowed mode is the safe serving default and pure FNO is opt-in.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
@@ -28,11 +29,28 @@ from ..faults.policy import CircuitBreaker, CircuitOpenError
 from ..tensor import batch_invariant_kernels
 from ..trust import TrustGuard, TrustPolicy, assess_prediction
 from .batching import BatchPolicy, BatchQueue, PredictRequest, QueueFullError
-from .registry import ModelRegistry
+from .registry import ModelNotFound, ModelRegistry
 from .stats import ServerStats
 from .workers import WorkerPool
 
-__all__ = ["InferenceService", "QueueFullError", "CircuitOpenError"]
+__all__ = ["InferenceService", "QueueFullError", "CircuitOpenError",
+           "ServiceDraining"]
+
+
+class ServiceDraining(RuntimeError):
+    """The replica is draining for shutdown/deploy; retry elsewhere.
+
+    Carries ``retry_after`` like :class:`QueueFullError` and
+    :class:`CircuitOpenError`, so the HTTP layer answers ``503`` with a
+    ``Retry-After`` header and fleet gateways re-route instead of
+    waiting out a replica that is on its way down.
+    """
+
+    def __init__(self, replica_id: str = "", retry_after: float = 1.0):
+        what = f" {replica_id!r}" if replica_id else ""
+        super().__init__(f"replica{what} is draining; no new requests accepted")
+        self.replica_id = replica_id
+        self.retry_after = retry_after
 
 _SOLVERS = {"fd": "FDNSSolver2D", "spectral": "SpectralNSSolver2D"}
 
@@ -191,6 +209,7 @@ class InferenceService:
         breaker: CircuitBreaker | None = "default",
         proc_workers: int = 0,
         trust: TrustPolicy | None = "default",
+        replica_id: str = "",
     ):
         if default_mode not in ("hybrid", "fno"):
             raise ValueError("default_mode must be 'hybrid' or 'fno'")
@@ -232,6 +251,13 @@ class InferenceService:
             self.proc = ProcServeBackend(self.registry, n_workers=proc_workers)
         self._lifecycle_lock = threading.Lock()
         self._started = False
+        # Fleet plumbing: the replica id travels in /healthz so a
+        # gateway can tell restarted incarnations apart; draining stops
+        # admission (503 + Retry-After) while in-flight work finishes.
+        self.replica_id = str(replica_id)
+        self._admission_lock = threading.Lock()
+        self._draining = False
+        self._inflight = 0
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "InferenceService":
@@ -329,22 +355,33 @@ class InferenceService:
                 "mode_forced": mode_forced,
             },
         )
-        if self.breaker is not None:
-            try:
-                self.breaker.admit()
-            except CircuitOpenError:
+        with self._admission_lock:
+            if self._draining:
                 self.stats.record_rejected()
-                raise
-        self.stats.record_submitted()
+                raise ServiceDraining(self.replica_id)
+            self._inflight += 1
         try:
-            self.queue.submit(request)
-        except QueueFullError:
-            self.stats.record_rejected()
+            if self.breaker is not None:
+                try:
+                    self.breaker.admit()
+                except CircuitOpenError:
+                    self.stats.record_rejected()
+                    raise
+            self.stats.record_submitted()
+            try:
+                self.queue.submit(request)
+            except QueueFullError:
+                self.stats.record_rejected()
+                self.stats.set_queue_depth(self.queue.depth())
+                raise
             self.stats.set_queue_depth(self.queue.depth())
-            raise
-        self.stats.set_queue_depth(self.queue.depth())
-        result = request.wait(timeout if timeout is not None else self.request_timeout)
-        return result
+            result = request.wait(
+                timeout if timeout is not None else self.request_timeout
+            )
+            return result
+        finally:
+            with self._admission_lock:
+                self._inflight -= 1
 
     # -- worker side ---------------------------------------------------
     def _execute(self, batch: list[PredictRequest]) -> None:
@@ -423,6 +460,67 @@ class InferenceService:
             )
             self.stats.record_completed(now - request.enqueued_at)
         self.stats.record_batch(len(batch), now - started)
+
+    # -- fleet plumbing ------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Requests admitted but not yet answered (queued + executing)."""
+        with self._admission_lock:
+            return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        with self._admission_lock:
+            return self._draining
+
+    def drain(self) -> dict:
+        """Stop admitting requests; in-flight work keeps running.
+
+        Idempotent.  Returns the post-drain liveness snapshot so the
+        caller (``POST /drain``, a rolling deploy) can poll ``inflight``
+        down to zero before stopping the process.
+        """
+        with self._admission_lock:
+            self._draining = True
+        return self.healthz_snapshot()
+
+    def healthz_snapshot(self) -> dict:
+        """The ``/healthz`` payload: one cheap JSON shape a fleet gateway
+        can poll per heartbeat — replica identity, admission state,
+        load, both breakers, and the trust EWMA.  No latency summaries,
+        no registry listings: those stay on ``/stats``."""
+        with self._admission_lock:
+            draining = self._draining
+            inflight = self._inflight
+        models = {}
+        for name in self.registry.names():
+            try:
+                models[name] = str(self.registry.resolve(name))
+            except ModelNotFound:  # alias raced an eviction/removal
+                continue
+        return {
+            "status": "draining" if draining else "ok",
+            "replica_id": self.replica_id,
+            "pid": os.getpid(),
+            "queue_depth": self.queue.depth(),
+            "queue_limit": self.policy.max_queue,
+            "inflight": inflight,
+            "workers": self.workers.alive,
+            "breaker": self.breaker.state if self.breaker is not None else None,
+            "trust_breaker": (
+                self.trust_breaker.state if self.trust_breaker is not None else None
+            ),
+            "trust": (
+                {
+                    "ewma": self.stats.trust_ewma(),
+                    "reports": self.stats.n_trust_reports,
+                    "flagged": self.stats.n_trust_flagged,
+                }
+                if self.trust is not None
+                else None
+            ),
+            "models": models,
+        }
 
     # -- introspection -------------------------------------------------
     def metrics_text(self) -> str:

@@ -10,6 +10,8 @@ percentile code that used to be duplicated here is gone — the registry's
 
 from __future__ import annotations
 
+import threading
+
 from ..obs.metrics import MetricsRegistry
 
 __all__ = ["ServerStats"]
@@ -27,7 +29,8 @@ class ServerStats:
         keeps its own so two services in one process don't mix numbers.
     """
 
-    def __init__(self, latency_window: int = 2048, registry: MetricsRegistry | None = None):
+    def __init__(self, latency_window: int = 2048, registry: MetricsRegistry | None = None,
+                 trust_ewma_alpha: float = 0.2):
         self.registry = registry if registry is not None else MetricsRegistry()
         self._submitted = self.registry.counter("serve_requests_submitted_total")
         self._completed = self.registry.counter("serve_requests_completed_total")
@@ -53,6 +56,15 @@ class ServerStats:
         )
         self._trust_reports = self.registry.counter("serve_trust_reports_total")
         self._trust_flagged = self.registry.counter("serve_trust_flagged_total")
+        # Trust-score EWMA: the fleet gateway's health signal.  A gauge
+        # alone would expose only the *last* score; the EWMA smooths the
+        # per-request jitter into a replica-level trend the gateway can
+        # threshold for ejection.  Read-modify-write under a lock (the
+        # worker threads all record through here).
+        self._trust_ewma_gauge = self.registry.gauge("serve_trust_score_ewma")
+        self._trust_ewma_alpha = float(trust_ewma_alpha)
+        self._trust_ewma: float | None = None
+        self._trust_ewma_lock = threading.Lock()
         self._latency_window = latency_window
 
     # -- recording -----------------------------------------------------
@@ -80,6 +92,19 @@ class ServerStats:
         self._trust_reports.inc()
         if not trusted:
             self._trust_flagged.inc()
+        with self._trust_ewma_lock:
+            previous = self._trust_ewma
+            if previous is None:
+                self._trust_ewma = float(score)
+            else:
+                alpha = self._trust_ewma_alpha
+                self._trust_ewma = alpha * float(score) + (1.0 - alpha) * previous
+            self._trust_ewma_gauge.set(self._trust_ewma)
+
+    def trust_ewma(self) -> float | None:
+        """Exponentially weighted trust score, ``None`` before any report."""
+        with self._trust_ewma_lock:
+            return self._trust_ewma
 
     def set_queue_depth(self, depth: int) -> None:
         self._queue_depth.set(depth)
@@ -115,6 +140,7 @@ class ServerStats:
             "reports": self.n_trust_reports,
             "flagged": self.n_trust_flagged,
             "score": self.trust_scores.summary(),
+            "ewma": self.trust_ewma(),
         }
 
     def _batch_sizes(self) -> dict[int, int]:

@@ -23,6 +23,8 @@ class TestScenarios:
             "supervisor_kill",
             "proc_worker_kill",
             "trust_fallback",
+            "replica_kill",
+            "bad_deploy",
         }
 
     @pytest.mark.parametrize("name", sorted(SCENARIOS))

@@ -1,0 +1,518 @@
+"""Fleet-layer tests: hash ring, health lattice, router, journal, deploys.
+
+Everything here runs without sockets or child processes — the router
+and deploy orchestration take fake transports/coordinators, and the
+state machines take injectable clocks.  The end-to-end story (real
+replicas, real SIGKILL) lives in the ``replica_kill`` / ``bad_deploy``
+chaos scenarios.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults.policy import RetryPolicy, call_with_retry
+from repro.fleet import (
+    FleetHealth,
+    GatewayRouter,
+    HashRing,
+    HealthPolicy,
+    ReplicaSpec,
+    RequestJournal,
+    rolling_deploy,
+)
+from repro.jobs.supervisor import Heartbeat, HeartbeatReader, read_heartbeat
+from repro.utils.artifacts import write_manifest
+
+
+class TestHashRing:
+    def test_same_key_same_replica_and_cross_instance_determinism(self):
+        nodes = ["r0", "r1", "r2", "r3"]
+        a, b = HashRing(nodes), HashRing(list(reversed(nodes)))
+        for k in range(50):
+            key = f"key-{k}"
+            assert a.route(key) == a.route(key) == b.route(key)
+            assert a.preference(key) == b.preference(key)
+
+    def test_preference_covers_all_nodes_distinctly(self):
+        ring = HashRing(["r0", "r1", "r2"])
+        for k in range(20):
+            prefs = ring.preference(f"key-{k}")
+            assert sorted(prefs) == ["r0", "r1", "r2"]
+
+    def test_minimal_remapping_on_ejection(self):
+        ring = HashRing(["r0", "r1", "r2", "r3"])
+        keys = [f"key-{k}" for k in range(200)]
+        before = {key: ring.route(key) for key in keys}
+        ring.remove("r1")
+        after = {key: ring.route(key) for key in keys}
+        moved = [key for key in keys if before[key] != after[key]]
+        # Only keys the ejected replica owned may move...
+        assert moved and all(before[key] == "r1" for key in moved)
+        # ...and they land on the key's next preference, not at random.
+        ring_full = HashRing(["r0", "r1", "r2", "r3"])
+        for key in moved:
+            successor = ring_full.preference(key)[1]
+            assert after[key] == successor
+
+    def test_readding_restores_the_original_mapping(self):
+        ring = HashRing(["r0", "r1", "r2"])
+        keys = [f"key-{k}" for k in range(100)]
+        before = {key: ring.route(key) for key in keys}
+        ring.remove("r2")
+        ring.add("r2")
+        assert {key: ring.route(key) for key in keys} == before
+
+    def test_route_skips_unhealthy_nodes(self):
+        ring = HashRing(["r0", "r1"])
+        key = next(f"k{i}" for i in range(100)
+                   if ring.route(f"k{i}") == "r0")
+        assert ring.route(key, healthy={"r1"}) == "r1"
+        assert ring.route(key, healthy=set()) is None
+
+    def test_placement_is_roughly_balanced(self):
+        ring = HashRing(["r0", "r1", "r2"], vnodes=64)
+        counts: dict[str, int] = {}
+        for k in range(600):
+            owner = ring.route(f"key-{k}")
+            counts[owner] = counts.get(owner, 0) + 1
+        assert all(count > 600 // 10 for count in counts.values()), counts
+
+    def test_empty_ring_and_validation(self):
+        assert HashRing().preference("k") == []
+        assert HashRing().route("k") is None
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(vnodes=0)
+
+
+HEALTHY = {"status": "ok", "breaker": "closed", "trust_breaker": "closed",
+           "trust": {"ewma": 0.9}, "queue_depth": 0, "queue_limit": 64}
+
+
+class TestHealthLattice:
+    def make(self, **kwargs):
+        t = [0.0]
+        policy = HealthPolicy(**{"readmit_after_s": 1.0, **kwargs})
+        return FleetHealth(policy, clock=lambda: t[0]), t
+
+    def test_overall_score_is_the_min_component(self):
+        health, _ = self.make()
+        health.observe("r0", {**HEALTHY, "breaker": "half_open"})
+        snap = health.snapshot()["r0"]
+        assert snap["components"]["breaker"] == 0.5
+        assert snap["score"] == 0.5
+
+    def test_breaker_open_ejects(self):
+        health, _ = self.make()
+        health.observe("r0", HEALTHY)
+        assert health.state_of("r0") == "admitted"
+        health.observe("r0", {**HEALTHY, "breaker": "open"})
+        assert health.state_of("r0") == "ejected"
+        assert not health.admit("r0")
+
+    def test_low_trust_ewma_ejects(self):
+        health, _ = self.make()
+        health.observe("r0", {**HEALTHY, "trust": {"ewma": 0.2}})
+        assert health.state_of("r0") == "ejected"
+        assert health.snapshot()["r0"]["components"]["trust"] == 0.2
+
+    def test_draining_and_saturated_queue_eject(self):
+        health, _ = self.make()
+        health.observe("r0", {**HEALTHY, "status": "draining"})
+        assert health.state_of("r0") == "ejected"
+        health.observe("r1", {**HEALTHY, "queue_depth": 64})
+        assert health.state_of("r1") == "ejected"
+
+    def test_stale_heartbeat_scores_unreachable(self):
+        health, t = self.make(stale_after_s=2.0)
+        health.observe("r0", HEALTHY)
+        t[0] = 5.0
+        assert health.snapshot()["r0"]["components"]["reachable"] == 0.0
+
+    def test_eject_probe_readmit_cycle(self):
+        health, t = self.make()
+        health.observe("r0", HEALTHY)
+        health.observe_error("r0")
+        assert health.state_of("r0") == "ejected"
+        # Cooldown not yet elapsed: still no traffic.
+        t[0] = 0.5
+        assert not health.admit("r0")
+        # After the cooldown a single probe slot opens.
+        t[0] = 1.5
+        assert health.admit("r0")
+        assert health.state_of("r0") == "probing"
+        assert not health.admit("r0")  # probe_max=1: second request denied
+        health.record_result("r0", True)
+        assert health.state_of("r0") == "admitted"
+        assert health.admit("r0")
+
+    def test_failed_probe_reejects_and_restarts_cooldown(self):
+        health, t = self.make()
+        health.observe("r0", HEALTHY)
+        health.observe_error("r0")
+        t[0] = 1.5
+        assert health.admit("r0")
+        health.record_result("r0", False)
+        assert health.state_of("r0") == "ejected"
+        t[0] = 2.0  # only 0.5s since the failed probe
+        assert not health.admit("r0")
+        t[0] = 3.0
+        assert health.admit("r0")
+
+    def test_healthy_poll_counts_as_probe_success(self):
+        health, t = self.make()
+        health.observe("r0", HEALTHY)
+        health.observe_error("r0")
+        t[0] = 2.0
+        health.observe("r0", HEALTHY)
+        assert health.state_of("r0") == "admitted"
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="eject_below"):
+            HealthPolicy(eject_below=1.5)
+        with pytest.raises(ValueError, match="probe"):
+            HealthPolicy(probe_max=0)
+
+
+class TestHeartbeatTornRead:
+    def test_reader_returns_last_good_value_across_torn_write(self, tmp_path):
+        path = tmp_path / "hb.json"
+        hb = Heartbeat(path, interval=60.0)
+        hb.beat()
+        reader = HeartbeatReader(path)
+        first = reader.read()
+        assert first is not None and "seq" in first
+        # A torn write (partial JSON) must not erase the reader's state:
+        # a supervisor seeing None here would misdiagnose a live child.
+        path.write_text('{"pid": 12, "se')
+        assert reader.read() == first
+        hb.beat()
+        hb.beat()
+        assert reader.read()["seq"] > first["seq"]
+
+    def test_read_heartbeat_last_parameter(self, tmp_path):
+        good = {"pid": 1, "seq": 7, "interval": 0.25}
+        missing = tmp_path / "nope.json"
+        assert read_heartbeat(missing) is None
+        assert read_heartbeat(missing, last=good) == good
+        torn = tmp_path / "torn.json"
+        torn.write_text("{broken")
+        assert read_heartbeat(torn, last=good) == good
+
+
+class _Hinted(RuntimeError):
+    def __init__(self, retry_after):
+        super().__init__("busy")
+        self.retry_after = retry_after
+
+
+class TestRetryAfterHonoring:
+    def run(self, hints, policy):
+        sleeps: list[float] = []
+        calls = {"n": 0}
+
+        def fn():
+            if calls["n"] < len(hints):
+                hint = hints[calls["n"]]
+                calls["n"] += 1
+                raise _Hinted(hint) if hint is not None else RuntimeError("x")
+            return "ok"
+
+        assert call_with_retry(fn, policy=policy, sleep=sleeps.append) == "ok"
+        return sleeps
+
+    def test_hint_raises_the_pause_capped_by_max_backoff(self):
+        policy = RetryPolicy(attempts=3, backoff=0.05, factor=2.0,
+                             max_backoff=0.5, retry_on=(_Hinted,))
+        # Hint above schedule: pause rises to it.  Hint above the cap:
+        # pause clamps to max_backoff.
+        assert self.run([0.3, 10.0], policy) == [0.3, 0.5]
+
+    def test_hint_never_lowers_the_policy_schedule(self):
+        policy = RetryPolicy(attempts=2, backoff=0.2, retry_on=(_Hinted,))
+        assert self.run([0.001], policy) == [0.2]
+
+    def test_malformed_hint_keeps_policy_schedule(self):
+        policy = RetryPolicy(attempts=2, backoff=0.1, retry_on=(_Hinted,))
+        assert self.run(["not-a-number"], policy) == [0.1]
+
+
+class TestRequestJournal:
+    def test_exactly_once_verdict(self):
+        journal = RequestJournal()
+        for i in range(3):
+            journal.record("submitted", f"q{i}")
+            journal.record("responded", f"q{i}", replica="r0", status=200)
+        verdict = journal.verify()
+        assert verdict["exactly_once"] and verdict["submitted"] == 3
+        assert not verdict["lost"] and not verdict["duplicated"]
+
+    def test_lost_duplicated_and_failed_are_flagged(self):
+        journal = RequestJournal()
+        journal.record("submitted", "lost")
+        journal.record("submitted", "dup")
+        journal.record("responded", "dup", replica="r0", status=200)
+        journal.record("responded", "dup", replica="r1", status=200)
+        journal.record("submitted", "sad")
+        journal.record("failed", "sad", error="no replica")
+        verdict = journal.verify()
+        assert not verdict["exactly_once"]
+        assert verdict["lost"] == ["lost"]
+        assert verdict["duplicated"] == ["dup"]
+        assert verdict["failed"] == 1
+
+    def test_jsonl_persistence_roundtrip(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        journal = RequestJournal(path)
+        journal.record("submitted", "q0", key="k")
+        journal.record("responded", "q0", replica="r1", status=200)
+        journal.close()
+        replayed = RequestJournal.load(path)
+        assert replayed.events() == journal.events()
+        assert replayed.verify()["exactly_once"]
+
+
+class _FakeFleet:
+    """In-memory replicas with scriptable per-replica behaviour."""
+
+    def __init__(self, behaviour):
+        self.behaviour = dict(behaviour)  # rid -> "ok" | "down" | "busy"
+        self.calls: list[str] = []
+
+    def endpoints(self):
+        return {rid: f"http://{rid}" for rid in sorted(self.behaviour)}
+
+    def transport(self, url, body, headers, timeout=None):
+        rid = url.removeprefix("http://").removesuffix("/predict")
+        self.calls.append(rid)
+        mode = self.behaviour[rid]
+        if mode == "down":
+            raise OSError("connection refused")
+        if mode == "busy":
+            return 503, {"Retry-After": "0.4"}, b'{"error": "queue full"}'
+        return 200, {"Content-Type": "application/json"}, \
+            json.dumps({"replica": rid}).encode()
+
+
+def make_router(fleet, **kwargs):
+    return GatewayRouter(
+        fleet.endpoints, transport=fleet.transport, sleep=lambda s: None,
+        vnodes=16, **kwargs,
+    )
+
+
+def owner_key(router, rid):
+    return next(k for k in (f"key-{i}" for i in range(500))
+                if router.preference(k)[0] == rid)
+
+
+class TestGatewayRouter:
+    def test_routes_to_the_consistent_hash_owner(self):
+        fleet = _FakeFleet({"r0": "ok", "r1": "ok", "r2": "ok"})
+        router = make_router(fleet)
+        key = owner_key(router, "r1")
+        status, _, data = router.predict(b"{}", key, "q0")
+        assert status == 200 and json.loads(data)["replica"] == "r1"
+        assert router.journal.verify()["exactly_once"]
+
+    def test_connection_failure_fails_over_in_the_same_attempt(self):
+        fleet = _FakeFleet({"r0": "down", "r1": "ok", "r2": "ok"})
+        router = make_router(fleet)
+        key = owner_key(router, "r0")
+        status, _, data = router.predict(b"{}", key, "q0")
+        assert status == 200
+        # Served by the owner's ring successor, not an arbitrary node.
+        assert json.loads(data)["replica"] == router.preference(key)[1]
+        assert fleet.calls[0] == "r0"
+        # The dead replica got ejected; later requests skip it entirely.
+        assert router.health.state_of("r0") == "ejected"
+        fleet.calls.clear()
+        assert router.predict(b"{}", key, "q1")[0] == 200
+        assert "r0" not in fleet.calls
+        assert router.journal.verify()["exactly_once"]
+
+    def test_503_retry_honors_retry_after_without_ejecting(self):
+        fleet = _FakeFleet({"r0": "busy", "r1": "busy"})
+        router = make_router(fleet)
+        sleeps: list[float] = []
+        router._sleep = sleeps.append
+        status, headers, _ = router.predict(b"{}", "key-0", "q0")
+        assert status == 503 and "Retry-After" in headers
+        # Busy != dead: the replicas stay admitted for the next request.
+        assert router.health.admitted_ids() == ["r0", "r1"]
+        # Every inter-attempt pause honored the server's 0.4s hint
+        # (raised from the policy's smaller base backoff, capped at 1.0).
+        assert sleeps and all(p >= 0.4 for p in sleeps)
+        verdict = router.journal.verify()
+        assert verdict["failed"] == 1 and not verdict["lost"]
+
+    def test_total_outage_journals_a_terminal_failure(self):
+        fleet = _FakeFleet({"r0": "down", "r1": "down"})
+        router = make_router(fleet)
+        status, _, data = router.predict(b"{}", "key-1", "q0")
+        assert status == 503
+        assert "no replica" in json.loads(data)["error"]
+        verdict = router.journal.verify()
+        assert verdict["failed"] == 1 and not verdict["lost"]
+
+    def test_recovered_replica_is_probed_and_readmitted(self):
+        t = [0.0]
+        fleet = _FakeFleet({"r0": "down", "r1": "ok"})
+        health = FleetHealth(HealthPolicy(readmit_after_s=1.0),
+                             clock=lambda: t[0])
+        router = make_router(fleet, health=health)
+        key = owner_key(router, "r0")
+        assert router.predict(b"{}", key, "q0")[0] == 200
+        assert health.state_of("r0") == "ejected"
+        fleet.behaviour["r0"] = "ok"
+        t[0] = 2.0  # cooldown elapses → half-open probe admits r0 again
+        status, _, data = router.predict(b"{}", key, "q1")
+        assert status == 200 and json.loads(data)["replica"] == "r0"
+        assert health.state_of("r0") == "admitted"
+
+    def test_status_reports_lattice_and_journal(self):
+        fleet = _FakeFleet({"r0": "ok"})
+        router = make_router(fleet)
+        router.predict(b"{}", "key-0", "q0")
+        status = router.status()
+        assert set(status) == {"replicas", "admitted", "endpoints", "journal"}
+        assert status["replicas"]["r0"]["state"] == "admitted"
+        assert status["journal"]["exactly_once"]
+
+
+class _FakeCoordinator:
+    """Deploy-facing coordinator double: specs + restart bookkeeping."""
+
+    def __init__(self, checkpoint, rids=("r0", "r1")):
+        self.specs = {rid: ReplicaSpec(checkpoint=str(checkpoint))
+                      for rid in rids}
+        self.actions: list[tuple[str, str]] = []
+
+    def replica_ids(self):
+        return sorted(self.specs)
+
+    def spec_of(self, rid):
+        return self.specs[rid]
+
+    def restart_replica(self, rid, spec=None, graceful=True):
+        if spec is not None:
+            self.specs[rid] = spec
+        self.actions.append((rid, self.specs[rid].checkpoint))
+        return {"replica_id": rid}
+
+    def urls(self):
+        return {rid: f"http://{rid}" for rid in self.specs}
+
+
+def _manifested(path, payload=b"weights"):
+    path.write_bytes(payload)
+    write_manifest(path, kind="model")
+    return str(path)
+
+
+class TestRollingDeploy:
+    def probes_for(self, coordinator, healthy_checkpoints):
+        """Fake transports keyed on which checkpoint a replica runs."""
+
+        def transport(url, body, headers, timeout=None):
+            rid = url.removeprefix("http://").removesuffix("/predict")
+            good = coordinator.specs[rid].checkpoint in healthy_checkpoints
+            velocity = [[0.0]] if good else [[float("inf")]]
+            return 200, {}, json.dumps({"velocity": velocity}).encode()
+
+        def get_json(url, timeout=None):
+            rid = url.removeprefix("http://").removesuffix("/healthz")
+            good = coordinator.specs[rid].checkpoint in healthy_checkpoints
+            return {"status": "ok",
+                    "trust": {"ewma": 0.95 if good else 0.03}}
+
+        return transport, get_json
+
+    def test_missing_manifest_is_rejected_before_any_restart(self, tmp_path):
+        v1 = _manifested(tmp_path / "v1.npz")
+        rogue = tmp_path / "rogue.npz"
+        rogue.write_bytes(b"unsigned")
+        coordinator = _FakeCoordinator(v1)
+        report = rolling_deploy(coordinator, rogue, require_manifest=True)
+        assert not report["ok"] and report["stage"] == "manifest-gate"
+        assert coordinator.actions == []
+
+    def test_tampered_checkpoint_is_rejected(self, tmp_path):
+        v1 = _manifested(tmp_path / "v1.npz")
+        bad = tmp_path / "bad.npz"
+        _manifested(bad)
+        bad.write_bytes(b"weights-but-different")
+        coordinator = _FakeCoordinator(v1)
+        report = rolling_deploy(coordinator, bad, require_manifest=True)
+        assert not report["ok"] and report["stage"] == "manifest-gate"
+        assert "bad.npz" in report["error"]
+        assert coordinator.actions == []
+
+    def test_unhealthy_canary_rolls_back_automatically(self, tmp_path):
+        v1 = _manifested(tmp_path / "v1.npz", b"good-weights")
+        v2 = _manifested(tmp_path / "v2.npz", b"broken-weights")
+        coordinator = _FakeCoordinator(v1)
+        transport, get_json = self.probes_for(coordinator, {v1})
+        events: list[dict] = []
+        report = rolling_deploy(
+            coordinator, v2, probes=[{"model": "m", "window": []}],
+            require_manifest=True, transport=transport, get_json=get_json,
+            on_event=events.append,
+        )
+        assert not report["ok"] and report["stage"] == "canary"
+        assert report["rolled_back"] == ["r0"]
+        assert report["verdict"]["trust_ewma"] == 0.03
+        # Canary went to v2, then back to v1; r1 was never touched.
+        assert coordinator.actions == [("r0", v2), ("r0", v1)]
+        assert {spec.checkpoint for spec in coordinator.specs.values()} == {v1}
+        assert any(e["event"] == "canary-failed" for e in events)
+        assert any(e["event"] == "rollback" for e in events)
+
+    def test_good_deploy_rolls_one_replica_at_a_time(self, tmp_path):
+        v1 = _manifested(tmp_path / "v1.npz", b"old")
+        v2 = _manifested(tmp_path / "v2.npz", b"new")
+        coordinator = _FakeCoordinator(v1, rids=("r0", "r1", "r2"))
+        transport, get_json = self.probes_for(coordinator, {v1, v2})
+        report = rolling_deploy(
+            coordinator, v2, probes=[{"model": "m", "window": []}],
+            require_manifest=True, transport=transport, get_json=get_json,
+        )
+        assert report["ok"] and report["stage"] == "complete"
+        assert report["updated"] == ["r0", "r1", "r2"]
+        assert coordinator.actions == [("r0", v2), ("r1", v2), ("r2", v2)]
+        assert {spec.checkpoint for spec in coordinator.specs.values()} == {v2}
+
+    def test_legacy_checkpoint_allowed_when_gate_is_off(self, tmp_path):
+        v1 = _manifested(tmp_path / "v1.npz")
+        legacy = tmp_path / "legacy.npz"
+        legacy.write_bytes(b"pre-manifest")
+        coordinator = _FakeCoordinator(v1)
+        transport, get_json = self.probes_for(coordinator, {v1, str(legacy)})
+        report = rolling_deploy(coordinator, legacy, require_manifest=False,
+                                transport=transport, get_json=get_json)
+        assert report["ok"]
+
+
+class TestFleetCliWiring:
+    def test_parser_accepts_fleet_actions(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["fleet", "status", "--gateway", "http://x"])
+        assert args.command == "fleet" and args.action == "status"
+        args = parser.parse_args(["fleet", "deploy", "--checkpoint", "m.npz",
+                                  "--require-manifest"])
+        assert args.checkpoint == "m.npz" and args.require_manifest
+
+    def test_replica_spec_command_line(self, tmp_path):
+        spec = ReplicaSpec(checkpoint="m.npz", model_name="tiny",
+                           require_manifest=True, trust="policy.json")
+        cmd = spec.command("r0", tmp_path / "a.json", tmp_path / "hb.json")
+        joined = " ".join(cmd)
+        assert "--model tiny=m.npz" in joined
+        assert "--replica-id r0" in joined
+        assert "--port 0" in joined
+        assert "--require-manifest" in joined
+        assert "--trust policy.json" in joined

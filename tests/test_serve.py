@@ -412,8 +412,32 @@ def _post(url, payload):
 
 class TestHTTP:
     def test_healthz(self, http_service):
+        """/healthz is the fleet health shape: one cheap JSON document
+        carrying replica identity, admission state, load, and breakers."""
         _, base = http_service
-        assert _get(f"{base}/healthz") == (200, {"status": "ok"})
+        code, body = _get(f"{base}/healthz")
+        assert code == 200
+        assert body["status"] == "ok"
+        assert {"replica_id", "pid", "queue_depth", "queue_limit", "inflight",
+                "workers", "breaker", "trust_breaker", "trust",
+                "models"} <= set(body)
+        assert body["breaker"] == "closed"
+        assert body["queue_depth"] == 0 and body["inflight"] == 0
+        assert body["models"].keys() == {"tiny"}
+
+    def test_drain_rejects_new_requests_with_503(self, http_service):
+        svc, base = http_service
+        code, body, _ = _post(f"{base}/drain", {})
+        assert code == 200 and body["status"] == "draining"
+        code, body = _get(f"{base}/healthz")
+        assert body["status"] == "draining"
+        code, body, headers = _post(
+            f"{base}/predict",
+            {"model": "tiny", "window": window().tolist(), "mode": "fno"},
+        )
+        assert code == 503 and "draining" in body["error"]
+        assert float(headers["Retry-After"]) > 0
+        assert svc.inflight == 0
 
     def test_predict_roundtrip_matches_direct_call(self, http_service):
         svc, base = http_service
